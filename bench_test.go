@@ -1,0 +1,197 @@
+// Package repro's top-level benchmarks regenerate each table and figure
+// of the paper's evaluation section (run with `go test -bench=. -benchmem`).
+// They use the Quick problem sizes and two repetitions so the whole suite
+// stays laptop-sized; `go run ./cmd/ltreport` produces the full-size
+// report.  Micro-benchmarks for the simulation substrate follow at the
+// bottom.
+package repro
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/machine"
+	"repro/internal/noise"
+	"repro/internal/scalasca"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+	"repro/internal/work"
+)
+
+// benchOpts are the study options used by the table/figure benchmarks.
+func benchOpts() experiment.StudyOptions {
+	return experiment.StudyOptions{Reps: 2, BaseSeed: 1}
+}
+
+func study(b *testing.B, name string) *experiment.Study {
+	b.Helper()
+	spec, err := experiment.SpecByName(name, experiment.Options{Quick: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := experiment.RunStudy(spec, benchOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// BenchmarkTableI regenerates the overhead table (paper Table I).
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiment.TableI(io.Discard, study(b, "MiniFE-2"), study(b, "LULESH-1"), study(b, "TeaLeaf-2"))
+	}
+}
+
+// BenchmarkTableII regenerates the TeaLeaf run-time table (paper Table II).
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiment.TableII(io.Discard, []*experiment.Study{
+			study(b, "TeaLeaf-1"), study(b, "TeaLeaf-2"), study(b, "TeaLeaf-3"), study(b, "TeaLeaf-4"),
+		})
+	}
+}
+
+// BenchmarkFig2 regenerates the MiniFE-2 structure-generation run times.
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiment.Fig2(io.Discard, study(b, "MiniFE-2"))
+	}
+}
+
+// BenchmarkFig3 regenerates the MiniFE/LULESH Jaccard comparison.
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiment.FigJaccard(io.Discard, "FIG 3", []*experiment.Study{
+			study(b, "MiniFE-1"), study(b, "MiniFE-2"), study(b, "LULESH-1"), study(b, "LULESH-2"),
+		})
+	}
+}
+
+// BenchmarkFig4 regenerates the TeaLeaf Jaccard comparison.
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiment.FigJaccard(io.Discard, "FIG 4", []*experiment.Study{
+			study(b, "TeaLeaf-1"), study(b, "TeaLeaf-2"), study(b, "TeaLeaf-3"), study(b, "TeaLeaf-4"),
+		})
+	}
+}
+
+// BenchmarkFig5and6 regenerates the MiniFE call-path breakdowns (comp and
+// wait_nxn, paper Figs. 5 and 6 share the same two studies).
+func BenchmarkFig5and6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m1, m2 := study(b, "MiniFE-1"), study(b, "MiniFE-2")
+		experiment.Fig5(io.Discard, m1, m2)
+		experiment.Fig6(io.Discard, m1, m2)
+	}
+}
+
+// BenchmarkFig7 regenerates the MiniFE-2 paradigm breakdown.
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiment.Fig7(io.Discard, study(b, "MiniFE-2"))
+	}
+}
+
+// BenchmarkFig8and9 regenerates the LULESH-1 paradigm breakdown and the
+// comp/delay-cost call-path figures.
+func BenchmarkFig8and9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		l1 := study(b, "LULESH-1")
+		experiment.Fig8(io.Discard, l1)
+		experiment.Fig9(io.Discard, l1)
+	}
+}
+
+// ---- substrate micro-benchmarks ----
+
+// BenchmarkKernelSharedResource measures the virtual-time kernel's
+// scheduling throughput with contending actions.
+func BenchmarkKernelSharedResource(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := vtime.NewKernel()
+		bw := k.NewResource("bw", 100)
+		for a := 0; a < 16; a++ {
+			k.Spawn("s", func(ac *vtime.Actor) {
+				for j := 0; j < 100; j++ {
+					ac.Execute(vtime.Action{Work: 1, Res: bw, ResPerUnit: 1})
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzer measures trace-analysis throughput on a LULESH-1
+// quick trace (events/op reported via b.N scaling).
+func BenchmarkAnalyzer(b *testing.B) {
+	spec, err := experiment.SpecByName("LULESH-1", experiment.Options{Quick: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := experiment.Run(spec, core.ModeStmt, 1, noise.Cluster(), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scalasca.Analyze(res.Trace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceRoundTrip measures binary trace serialisation.
+func BenchmarkTraceRoundTrip(b *testing.B) {
+	spec, err := experiment.SpecByName("MiniFE-1", experiment.Options{Quick: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := experiment.Run(spec, core.ModeLt1, 1, noise.Params{}, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := res.Trace.Write(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := trace.Read(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMachineContention measures the fluid model under NUMA-domain
+// contention (16 streams on one domain).
+func BenchmarkMachineContention(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := vtime.NewKernel()
+		m := machine.New(k, machine.Jureca(1))
+		m.AddWorkingSet(0, 1e9)
+		for c := 0; c < 16; c++ {
+			core := machine.CoreID(c)
+			k.Spawn("t", func(a *vtime.Actor) {
+				for j := 0; j < 50; j++ {
+					m.Exec(a, core, benchCost, nil)
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var benchCost = work.Cost{Instr: 1e6, Flops: 1e6, Bytes: 1e6}

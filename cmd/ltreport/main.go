@@ -1,0 +1,85 @@
+// Command ltreport regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ltreport                 # everything (Table I, II, Figs 2-9)
+//	ltreport -quick          # smaller grids / fewer iterations
+//	ltreport -reps 3         # fewer repetitions
+//	ltreport -table 1        # only Table I
+//	ltreport -fig 9          # only Figure 9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ltreport: ")
+	quick := flag.Bool("quick", false, "shrink grids and iteration counts")
+	reps := flag.Int("reps", 5, "repetitions for timing and noisy modes")
+	seed := flag.Int64("seed", 1, "base noise seed")
+	table := flag.Int("table", 0, "regenerate only this table (1 or 2)")
+	fig := flag.Int("fig", 0, "regenerate only this figure (2-9)")
+	flag.Parse()
+
+	opts := experiment.StudyOptions{Reps: *reps, BaseSeed: *seed}
+	specOpts := experiment.Options{Quick: *quick}
+	w := os.Stdout
+
+	if *table == 0 && *fig == 0 {
+		if err := experiment.FullReport(w, opts, specOpts); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	study := func(name string) *experiment.Study {
+		spec, err := experiment.SpecByName(name, specOpts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "running %s...\n", name)
+		st, err := experiment.RunStudy(spec, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return st
+	}
+
+	switch {
+	case *table == 1:
+		experiment.TableI(w, study("MiniFE-2"), study("LULESH-1"), study("TeaLeaf-2"))
+	case *table == 2:
+		experiment.TableII(w, []*experiment.Study{
+			study("TeaLeaf-1"), study("TeaLeaf-2"), study("TeaLeaf-3"), study("TeaLeaf-4"),
+		})
+	case *fig == 2:
+		experiment.Fig2(w, study("MiniFE-2"))
+	case *fig == 3:
+		experiment.FigJaccard(w, "FIG 3 (MiniFE, LULESH)", []*experiment.Study{
+			study("MiniFE-1"), study("MiniFE-2"), study("LULESH-1"), study("LULESH-2"),
+		})
+	case *fig == 4:
+		experiment.FigJaccard(w, "FIG 4 (TeaLeaf)", []*experiment.Study{
+			study("TeaLeaf-1"), study("TeaLeaf-2"), study("TeaLeaf-3"), study("TeaLeaf-4"),
+		})
+	case *fig == 5:
+		experiment.Fig5(w, study("MiniFE-1"), study("MiniFE-2"))
+	case *fig == 6:
+		experiment.Fig6(w, study("MiniFE-1"), study("MiniFE-2"))
+	case *fig == 7:
+		experiment.Fig7(w, study("MiniFE-2"))
+	case *fig == 8:
+		experiment.Fig8(w, study("LULESH-1"))
+	case *fig == 9:
+		experiment.Fig9(w, study("LULESH-1"))
+	default:
+		log.Fatalf("nothing to do: table=%d fig=%d", *table, *fig)
+	}
+}

@@ -1,0 +1,100 @@
+// Command ltrun runs one benchmark configuration with one timer mode and
+// writes the trace and/or the analysis profile to disk.
+//
+// Usage:
+//
+//	ltrun -config MiniFE-1 -mode lt_stmt -profile out.cube.json
+//	ltrun -config TeaLeaf-2 -mode tsc -trace out.ltrc -seed 3
+//	ltrun -config LULESH-1 -mode ""        # uninstrumented reference
+//	ltrun -list                            # show configurations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/noise"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ltrun: ")
+	config := flag.String("config", "MiniFE-1", "configuration name (see -list)")
+	mode := flag.String("mode", "lt_stmt", `timer mode (tsc, lt_1, lt_loop, lt_bb, lt_stmt, lt_hwctr; "" = reference)`)
+	seed := flag.Int64("seed", 1, "noise seed")
+	quick := flag.Bool("quick", false, "shrink the problem")
+	quiet := flag.Bool("quiet", false, "suppress the profile summary")
+	noNoise := flag.Bool("no-noise", false, "disable all noise sources")
+	traceOut := flag.String("trace", "", "write the binary trace here")
+	profOut := flag.String("profile", "", "write the analysis profile (JSON) here")
+	list := flag.Bool("list", false, "list configurations and exit")
+	flag.Parse()
+
+	specOpts := experiment.Options{Quick: *quick}
+	if *list {
+		for _, s := range experiment.Specs(specOpts) {
+			fmt.Printf("%-10s %3d ranks x %3d threads on %d node(s): %s\n",
+				s.Name, s.Ranks, s.Threads, s.Nodes, s.Description)
+		}
+		return
+	}
+	spec, err := experiment.SpecByName(*config, specOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	np := noise.Cluster()
+	if *noNoise {
+		np = noise.Params{}
+	}
+	res, err := experiment.Run(spec, core.Mode(*mode), *seed, np, *profOut != "" || !*quiet)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s (%s): wall %.3f s", spec.Name, orRef(*mode), res.Wall)
+	if res.Trace != nil {
+		fmt.Printf(", %d events on %d locations", res.Trace.NumEvents(), len(res.Trace.Locs))
+	}
+	fmt.Println()
+	if res.Trace != nil && *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.Trace.Write(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *traceOut)
+	}
+	if res.Profile != nil {
+		if *profOut != "" {
+			f, err := os.Create(*profOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := res.Profile.Write(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("profile written to %s\n", *profOut)
+		}
+		if !*quiet {
+			res.Profile.RenderMetricTree(os.Stdout)
+		}
+	}
+}
+
+func orRef(mode string) string {
+	if mode == "" {
+		return "reference"
+	}
+	return mode
+}

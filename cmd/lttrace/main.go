@@ -1,0 +1,137 @@
+// Command lttrace inspects binary traces written by ltrun: summary
+// statistics, per-region event counts, and the largest in-region
+// timestamp gaps (useful for debugging clock behaviour).
+//
+// Usage:
+//
+//	lttrace trace.ltrc
+//	lttrace -gaps 20 trace.ltrc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"repro/internal/scalasca"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lttrace: ")
+	gaps := flag.Int("gaps", 10, "largest in-region stamp gaps to show")
+	events := flag.Int("events", 0, "dump the first N events of every location (otf2-print style)")
+	loc := flag.Int("loc", -1, "with -events: restrict to one location index")
+	critpath := flag.Bool("critpath", false, "run the critical-path analysis and show its top contributors")
+	timeline := flag.Int("timeline", 0, "draw an ASCII timeline this many columns wide")
+	tlRows := flag.Int("timeline-rows", 32, "with -timeline: locations to draw")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("need exactly one trace file")
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clock %s, %d locations, %d regions, %d events\n",
+		tr.Clock, len(tr.Locs), len(tr.Regions), tr.NumEvents())
+
+	if *timeline > 0 {
+		trace.RenderTimeline(os.Stdout, tr, *timeline, *tlRows)
+		return
+	}
+
+	if *critpath {
+		cp, err := scalasca.CriticalPathAnalysis(tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ncritical path: %.4g ticks over %d segments\n", cp.Total, cp.Segments)
+		for _, e := range cp.TopPaths(15) {
+			fmt.Printf("  %6.2f%%  %s\n", e.Percent, e.Path)
+		}
+		return
+	}
+
+	if *events > 0 {
+		for li, l := range tr.Locs {
+			if *loc >= 0 && li != *loc {
+				continue
+			}
+			fmt.Printf("\nlocation %d (rank %d thread %d):\n", li, l.Rank, l.Thread)
+			for ei, e := range l.Events {
+				if ei >= *events {
+					fmt.Printf("  ... %d more\n", len(l.Events)-*events)
+					break
+				}
+				switch e.Kind {
+				case trace.EvEnter, trace.EvExit:
+					fmt.Printf("  %12d %-8s %s\n", e.Time, e.Kind, tr.RegionName(e.Region))
+				case trace.EvSend, trace.EvRecv:
+					fmt.Printf("  %12d %-8s peer=%d tag=%d bytes=%d\n", e.Time, e.Kind, e.A, e.B, e.C)
+				case trace.EvCollEnd:
+					fmt.Printf("  %12d %-8s comm=%d seq=%d bytes=%d\n", e.Time, e.Kind, e.A, e.B, e.C)
+				default:
+					fmt.Printf("  %12d %-8s a=%d b=%d\n", e.Time, e.Kind, e.A, e.B)
+				}
+			}
+		}
+		return
+	}
+
+	// Events per region.
+	perRegion := make([]int, len(tr.Regions))
+	type gap struct {
+		loc    int
+		region string
+		dt, at uint64
+	}
+	var found []gap
+	for li, l := range tr.Locs {
+		var stack []trace.RegionID
+		var prev uint64
+		for _, e := range l.Events {
+			if e.Kind == trace.EvEnter || e.Kind == trace.EvExit {
+				perRegion[e.Region]++
+			}
+			if dt := e.Time - prev; len(stack) > 0 && dt > 0 {
+				found = append(found, gap{li, tr.RegionName(stack[len(stack)-1]), dt, e.Time})
+			}
+			prev = e.Time
+			switch e.Kind {
+			case trace.EvEnter:
+				stack = append(stack, e.Region)
+			case trace.EvExit:
+				if len(stack) > 0 {
+					stack = stack[:len(stack)-1]
+				}
+			}
+		}
+	}
+	fmt.Println("\nevents per region:")
+	order := make([]int, len(tr.Regions))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return perRegion[order[a]] > perRegion[order[b]] })
+	for _, i := range order {
+		if perRegion[i] == 0 {
+			continue
+		}
+		fmt.Printf("  %-50s %8d  (%s)\n", tr.Regions[i].Name, perRegion[i], tr.Regions[i].Role)
+	}
+	sort.Slice(found, func(a, b int) bool { return found[a].dt > found[b].dt })
+	fmt.Println("\nlargest in-region stamp gaps:")
+	for i := 0; i < *gaps && i < len(found); i++ {
+		g := found[i]
+		fmt.Printf("  loc %-4d %-50s dt %-12d at %d\n", g.loc, g.region, g.dt, g.at)
+	}
+}

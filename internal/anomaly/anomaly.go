@@ -1,0 +1,121 @@
+// Package anomaly injects structured performance anomalies into a
+// simulated job — the role of the HPAS suite the paper cites for studying
+// noise sensitivity (Ates et al. [7] classify noise by originating
+// component: CPU, cache, memory, storage, network).  An anomaly is an
+// antagonist actor that occupies a shared machine resource (a NUMA
+// domain's memory bandwidth, a node's network adapter) in a configurable
+// duty cycle, so victim threads on the same resource slow down exactly as
+// the fluid contention model dictates.
+//
+// Anomalies are how the repository demonstrates the paper's central
+// dichotomy experimentally: an injected memory antagonist changes every
+// physical measurement of a co-located rank but leaves the logical
+// measurements bit-for-bit untouched.
+package anomaly
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/vtime"
+)
+
+// Kind selects the targeted resource.
+type Kind string
+
+// Anomaly kinds, named after their HPAS counterparts.
+const (
+	// MemBW streams through a NUMA domain's memory bandwidth
+	// (HPAS "memeater"/"membw").
+	MemBW Kind = "membw"
+	// NetBW occupies a node's network adapter (HPAS "netoccupy").
+	NetBW Kind = "netoccupy"
+)
+
+// Anomaly describes one injection.
+type Anomaly struct {
+	Kind Kind
+	// Target is the NUMA domain index (MemBW) or node index (NetBW).
+	Target int
+	// Start and Duration bound the anomaly in virtual seconds.
+	Start, Duration float64
+	// Period and Duty shape the burst pattern: within each period the
+	// antagonist is active for Duty (0..1] of the time.
+	Period float64
+	Duty   float64
+	// Intensity is the fraction of the resource's capacity the
+	// antagonist demands while active (0..1].
+	Intensity float64
+}
+
+// Validate checks the anomaly's parameters against the machine.
+func (a Anomaly) Validate(m *machine.Machine) error {
+	switch a.Kind {
+	case MemBW:
+		if a.Target < 0 || a.Target >= m.Cfg.TotalDomains() {
+			return fmt.Errorf("anomaly: domain %d out of range", a.Target)
+		}
+	case NetBW:
+		if a.Target < 0 || a.Target >= m.Cfg.Nodes {
+			return fmt.Errorf("anomaly: node %d out of range", a.Target)
+		}
+	default:
+		return fmt.Errorf("anomaly: unknown kind %q", a.Kind)
+	}
+	if a.Duration <= 0 || a.Period <= 0 || a.Duty <= 0 || a.Duty > 1 {
+		return fmt.Errorf("anomaly: invalid shape (duration %g, period %g, duty %g)", a.Duration, a.Period, a.Duty)
+	}
+	if a.Intensity <= 0 || a.Intensity > 1 {
+		return fmt.Errorf("anomaly: intensity %g out of (0,1]", a.Intensity)
+	}
+	if a.Start < 0 {
+		return fmt.Errorf("anomaly: negative start %g", a.Start)
+	}
+	return nil
+}
+
+// Inject spawns the antagonist actor.  Call before Kernel.Run; the actor
+// finishes on its own when the anomaly's duration ends, so it never keeps
+// the simulation alive.
+func Inject(k *vtime.Kernel, m *machine.Machine, a Anomaly) error {
+	if err := a.Validate(m); err != nil {
+		return err
+	}
+	var res *vtime.Resource
+	switch a.Kind {
+	case MemBW:
+		res = m.Domain(a.Target)
+	case NetBW:
+		res = m.NIC(a.Target)
+	}
+	k.Spawn(fmt.Sprintf("anomaly-%s-%d", a.Kind, a.Target), func(ac *vtime.Actor) {
+		if a.Start > 0 {
+			ac.Sleep(a.Start)
+		}
+		end := a.Start + a.Duration
+		for ac.Now() < end {
+			active := a.Period * a.Duty
+			if rem := end - ac.Now(); active > rem {
+				active = rem
+			}
+			if active <= 0 {
+				break
+			}
+			// Demand Intensity of the resource for `active` seconds:
+			// the burst's total resource units are capacity*intensity*
+			// active, and the rate cap keeps the antagonist from
+			// finishing early when the resource is idle.
+			bytes := res.Capacity() * a.Intensity * active
+			ac.Execute(vtime.Action{
+				Work:       bytes,
+				RateCap:    res.Capacity() * a.Intensity,
+				Res:        res,
+				ResPerUnit: 1,
+			})
+			if idle := a.Period * (1 - a.Duty); idle > 0 && ac.Now() < end {
+				ac.Sleep(idle)
+			}
+		}
+	})
+	return nil
+}

@@ -1,0 +1,160 @@
+package anomaly
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/measure"
+	"repro/internal/simmpi"
+	"repro/internal/simomp"
+	"repro/internal/vtime"
+	"repro/internal/work"
+)
+
+func TestValidation(t *testing.T) {
+	k := vtime.NewKernel()
+	m := machine.New(k, machine.Jureca(1))
+	good := Anomaly{Kind: MemBW, Target: 0, Duration: 1, Period: 0.1, Duty: 0.5, Intensity: 0.5}
+	if err := good.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Anomaly{
+		{Kind: "weird", Duration: 1, Period: 1, Duty: 1, Intensity: 1},
+		{Kind: MemBW, Target: 99, Duration: 1, Period: 1, Duty: 1, Intensity: 1},
+		{Kind: NetBW, Target: 5, Duration: 1, Period: 1, Duty: 1, Intensity: 1},
+		{Kind: MemBW, Duration: 0, Period: 1, Duty: 1, Intensity: 1},
+		{Kind: MemBW, Duration: 1, Period: 1, Duty: 2, Intensity: 1},
+		{Kind: MemBW, Duration: 1, Period: 1, Duty: 1, Intensity: 0},
+		{Kind: MemBW, Duration: 1, Period: 1, Duty: 1, Intensity: 1, Start: -1},
+	}
+	for i, a := range bad {
+		if err := a.Validate(m); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+}
+
+// victimWall runs a memory-bound victim on domain 0 and returns its wall
+// time, with or without an antagonist on the same domain.
+func victimWall(t *testing.T, inject bool, target int) float64 {
+	t.Helper()
+	k := vtime.NewKernel()
+	m := machine.New(k, machine.Jureca(1))
+	m.AddWorkingSet(0, 100*m.Cfg.L3PerDomain) // DRAM-resident victim
+	if inject {
+		err := Inject(k, m, Anomaly{
+			Kind: MemBW, Target: target,
+			Duration: 10, Period: 0.01, Duty: 1.0, Intensity: 0.9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wall float64
+	k.Spawn("victim", func(a *vtime.Actor) {
+		start := a.Now()
+		for i := 0; i < 50; i++ {
+			m.Exec(a, 0, work.Cost{Bytes: m.Cfg.DRAMBWPerDomain / 100}, nil)
+		}
+		wall = a.Now() - start
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return wall
+}
+
+func TestMemBWAnomalySlowsColocatedVictim(t *testing.T) {
+	clean := victimWall(t, false, 0)
+	noisy := victimWall(t, true, 0)
+	if noisy < 1.5*clean {
+		t.Fatalf("antagonist barely hurt the victim: %g vs %g", noisy, clean)
+	}
+}
+
+func TestMemBWAnomalyOnOtherDomainIsHarmless(t *testing.T) {
+	clean := victimWall(t, false, 0)
+	other := victimWall(t, true, 5) // antagonist on a different domain
+	if other > 1.01*clean {
+		t.Fatalf("cross-domain antagonist affected the victim: %g vs %g", other, clean)
+	}
+}
+
+func TestAnomalyTerminatesOnItsOwn(t *testing.T) {
+	k := vtime.NewKernel()
+	m := machine.New(k, machine.Jureca(1))
+	if err := Inject(k, m, Anomaly{
+		Kind: MemBW, Target: 0, Start: 0.5, Duration: 2, Period: 0.25, Duty: 0.5, Intensity: 0.5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if now := k.Now(); now < 2.4 || now > 2.7 {
+		t.Fatalf("anomaly ended at %g, want ~2.5", now)
+	}
+}
+
+// TestLogicalMeasurementImmuneToAnomaly is the package's reason to exist:
+// an injected antagonist changes the physical trace of a co-located job
+// but leaves the logical trace bit-for-bit identical.
+func TestLogicalMeasurementImmuneToAnomaly(t *testing.T) {
+	run := func(mode core.Mode, inject bool) *measure.Measurement {
+		k := vtime.NewKernel()
+		m := machine.New(k, machine.Jureca(1))
+		place, err := machine.PlaceBlock(m, 4, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inject {
+			if err := Inject(k, m, Anomaly{
+				Kind: MemBW, Target: 0, Duration: 60, Period: 0.001, Duty: 1, Intensity: 0.9,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m.AddWorkingSet(0, 100*m.Cfg.L3PerDomain)
+		w := simmpi.NewWorld(k, m, place, simmpi.DefaultConfig(), simomp.DefaultCosts(), nil)
+		meas := measure.New(measure.DefaultConfig(mode))
+		w.Launch(func(p *simmpi.Proc) {
+			r := measure.NewRank(meas, p)
+			r.Begin()
+			r.Region("stream", func() {
+				r.Work(work.Cost{Bytes: 1e8, Instr: 1e6, Stmt: 1e5, BB: 3e4})
+			})
+			r.Allreduce([]float64{1}, simmpi.OpSum)
+			r.End()
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return meas
+	}
+	// Physical stamps change under the anomaly...
+	tscClean := run(core.ModeTSC, false).Trace
+	tscNoisy := run(core.ModeTSC, true).Trace
+	same := true
+	for li := range tscClean.Locs {
+		for ei := range tscClean.Locs[li].Events {
+			if tscClean.Locs[li].Events[ei].Time != tscNoisy.Locs[li].Events[ei].Time {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("anomaly left the physical trace untouched")
+	}
+	// ...while logical stamps do not.
+	stmtClean := run(core.ModeStmt, false).Trace
+	stmtNoisy := run(core.ModeStmt, true).Trace
+	for li := range stmtClean.Locs {
+		for ei := range stmtClean.Locs[li].Events {
+			a, b := stmtClean.Locs[li].Events[ei], stmtNoisy.Locs[li].Events[ei]
+			if a != b {
+				t.Fatalf("logical trace changed under anomaly at loc %d ev %d: %+v vs %+v", li, ei, a, b)
+			}
+		}
+	}
+}

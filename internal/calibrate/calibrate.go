@@ -1,0 +1,99 @@
+// Package calibrate derives effort-model constants from micro-benchmarks
+// run on the (simulated) target system.  The paper charges a fixed X=100
+// basic blocks / Y=4300 statements per OpenMP runtime call, fitted by hand
+// to one LULESH experiment, and notes that "a more sophisticated model
+// might base estimates on micro-benchmarks on the target system" (§II-A)
+// and that such models "would need to be hardware and vendor-dependent to
+// be accurate" (§VI-B).  This package is that model: it measures the
+// physical cost of an OpenMP parallel region on the machine at hand and
+// converts it into equivalent basic-block and statement counts using the
+// observed rates of a reference compute kernel.
+package calibrate
+
+import (
+	"fmt"
+
+	"repro/internal/loc"
+	"repro/internal/machine"
+	"repro/internal/simomp"
+	"repro/internal/vtime"
+	"repro/internal/work"
+)
+
+// Result holds calibrated per-OpenMP-call effort constants.
+type Result struct {
+	// X is the basic-block equivalent of one OpenMP runtime call.
+	X float64
+	// Y is the statement equivalent.
+	Y float64
+	// OmpCallSeconds is the measured physical cost per OpenMP call.
+	OmpCallSeconds float64
+	// BBPerSecond and StmtPerSecond are the reference kernel's rates.
+	BBPerSecond   float64
+	StmtPerSecond float64
+}
+
+// refKernel is the reference compute kernel whose bb/stmt rates anchor
+// the conversion (a mildly memory-bound loop, like LULESH's kernels).
+var refKernel = work.Cost{BB: 8, Stmt: 28, Instr: 90, Bytes: 96, Flops: 60}
+
+// callsPerRegion is the number of OpenMP runtime calls a fused
+// parallel-for episode makes (parallel begin, loop begin, implicit
+// barrier, join — matching the instrumentation points of the
+// measurement layer).
+const callsPerRegion = 4
+
+// OmpCallConstants measures the per-OpenMP-call effort equivalents on a
+// machine with the given configuration and team size.
+func OmpCallConstants(cfg machine.Config, threads int) (Result, error) {
+	var res Result
+	const (
+		kernelIters = 200000
+		regions     = 2000
+	)
+	k := vtime.NewKernel()
+	m := machine.New(k, cfg)
+	if threads > cfg.TotalCores() {
+		return res, fmt.Errorf("calibrate: %d threads exceed %d cores", threads, cfg.TotalCores())
+	}
+	locs := make([]*loc.Location, threads)
+	for i := range locs {
+		locs[i] = &loc.Location{Index: i, Thread: i, Core: machine.CoreID(i), M: m}
+	}
+	var kernelSec, regionSec float64
+	k.Spawn("calibrate", func(a *vtime.Actor) {
+		locs[0].Actor = a
+		team := simomp.NewTeam(k, locs, simomp.DefaultCosts())
+		defer team.Close()
+
+		// Phase 1: reference kernel rate on one thread.
+		start := a.Now()
+		locs[0].Work(work.PerIter(refKernel, kernelIters))
+		kernelSec = a.Now() - start
+
+		// Phase 2: empty parallel regions expose the runtime cost.
+		start = a.Now()
+		for i := 0; i < regions; i++ {
+			team.ParallelFor(threads, func(lo, hi int, th *simomp.Thread) {})
+		}
+		regionSec = a.Now() - start
+	})
+	if err := k.Run(); err != nil {
+		return res, err
+	}
+	if kernelSec <= 0 || regionSec <= 0 {
+		return res, fmt.Errorf("calibrate: degenerate measurements (kernel %g s, regions %g s)", kernelSec, regionSec)
+	}
+	res.BBPerSecond = refKernel.BB * kernelIters / kernelSec
+	res.StmtPerSecond = refKernel.Stmt * kernelIters / kernelSec
+	res.OmpCallSeconds = regionSec / (regions * callsPerRegion)
+	res.X = res.OmpCallSeconds * res.BBPerSecond
+	res.Y = res.OmpCallSeconds * res.StmtPerSecond
+	return res, nil
+}
+
+// String summarises the calibration.
+func (r Result) String() string {
+	return fmt.Sprintf("omp call = %.3g s -> X = %.0f basic blocks, Y = %.0f statements",
+		r.OmpCallSeconds, r.X, r.Y)
+}

@@ -1,0 +1,74 @@
+package calibrate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestConstantsArePositiveAndStable(t *testing.T) {
+	cfg := machine.Jureca(1)
+	a, err := OmpCallConstants(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.X <= 0 || a.Y <= 0 || a.OmpCallSeconds <= 0 {
+		t.Fatalf("degenerate calibration: %+v", a)
+	}
+	// The simulation is deterministic without noise: calibration repeats.
+	b, err := OmpCallConstants(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.X != b.X || a.Y != b.Y {
+		t.Fatalf("calibration not reproducible: %+v vs %+v", a, b)
+	}
+}
+
+func TestYOverXMatchesStmtOverBBRatio(t *testing.T) {
+	// The conversion must preserve the reference kernel's stmt/bb ratio
+	// (paper: Y/X = 4300/100 = 43 came from LULESH's mix).
+	res, err := OmpCallConstants(machine.Jureca(1), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refKernel.Stmt / refKernel.BB
+	got := res.Y / res.X
+	if got < want*0.999 || got > want*1.001 {
+		t.Fatalf("Y/X = %g, want %g", got, want)
+	}
+}
+
+func TestLargerTeamsCostMorePerCall(t *testing.T) {
+	// Barrier trees deepen with team size, so the calibrated per-call
+	// cost must grow (cf. Iwainsky et al. [34]).
+	small, err := OmpCallConstants(machine.Jureca(1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := OmpCallConstants(machine.Jureca(1), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.OmpCallSeconds <= small.OmpCallSeconds {
+		t.Fatalf("64-thread call (%g s) not costlier than 2-thread (%g s)",
+			large.OmpCallSeconds, small.OmpCallSeconds)
+	}
+}
+
+func TestOversizedTeamRejected(t *testing.T) {
+	if _, err := OmpCallConstants(machine.Jureca(1), 1000); err == nil {
+		t.Fatal("expected error for oversized team")
+	}
+}
+
+func TestStringer(t *testing.T) {
+	res, err := OmpCallConstants(machine.Jureca(1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := res.String(); !strings.Contains(s, "X =") || !strings.Contains(s, "Y =") {
+		t.Fatalf("odd summary: %s", s)
+	}
+}

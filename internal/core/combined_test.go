@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/loc"
+	"repro/internal/noise"
+	"repro/internal/work"
+)
+
+func TestCombinedCounterSeesMemoryEffort(t *testing.T) {
+	testLoc(t, func(l *loc.Location) {
+		hw := New(ModeHwctr, l, nil)
+		comb := New(ModeHwComb, l, nil)
+		h0, c0 := hw.Stamp(), comb.Stamp()
+		l.Counts.Accumulate(work.Cost{Bytes: 1000}) // pure memory traffic
+		dh := hw.Stamp() - h0
+		dc := comb.Stamp() - c0
+		if dh != 1 {
+			t.Fatalf("lt_hwctr saw memory effort: %d", dh)
+		}
+		want := uint64(1 + BytesPerInstrWeight*1000)
+		if dc != want {
+			t.Fatalf("lt_hwcomb increment = %d, want %d", dc, want)
+		}
+	})
+}
+
+func TestCombinedCounterNoise(t *testing.T) {
+	nm := noise.NewModel(4, noise.Params{HWCtrRel: 0.05})
+	run := func(locID int) uint64 {
+		var out uint64
+		testLoc(t, func(l *loc.Location) {
+			c := New(ModeHwComb, l, nm.Source(locID, 0))
+			for i := 0; i < 30; i++ {
+				l.Counts.Instr += 1e4
+				l.Counts.Bytes += 1e3
+				out = c.Stamp()
+			}
+		})
+		return out
+	}
+	if run(0) == run(1) {
+		t.Fatal("lt_hwcomb should inherit counter noise")
+	}
+	if ModeHwComb.Deterministic() {
+		t.Fatal("lt_hwcomb is noise-sensitive")
+	}
+}

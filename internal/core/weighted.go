@@ -1,0 +1,42 @@
+package core
+
+import (
+	"repro/internal/loc"
+	"repro/internal/noise"
+	"repro/internal/work"
+)
+
+// ModeWStmt is the weighted-statement effort model the paper proposes as
+// future work (§VI-B: "Assigning different weights for different kinds of
+// statements might improve the model further").  Instead of counting
+// every statement as one unit, it forms a weighted combination of the
+// countable dimensions, so that branch-heavy setup code and streaming
+// loop code can carry different effort per statement.
+const ModeWStmt Mode = "lt_wstmt"
+
+// Weights configures the weighted effort model.  Effort between events is
+// WStmt*statements + WBB*basic blocks + WIter*loop iterations +
+// WCall*instrumented calls.
+type Weights struct {
+	WStmt float64
+	WBB   float64
+	WIter float64
+	WCall float64
+}
+
+// DefaultWeights approximates per-statement machine cost: statements
+// carry the base unit, basic blocks add branch overhead, calls add
+// call/return overhead.  The values are deliberately simple; Calibrated
+// models can refine them per machine.
+func DefaultWeights() Weights {
+	return Weights{WStmt: 1.0, WBB: 2.5, WIter: 0.5, WCall: 6.0}
+}
+
+// NewWeighted builds a Lamport clock with a weighted-combination effort
+// model.  src is accepted for interface symmetry; the model consumes no
+// randomness and is fully noise-resilient.
+func NewWeighted(l *loc.Location, w Weights, _ *noise.Source) Clock {
+	return newLamport(ModeWStmt, l, func(d work.Counts) float64 {
+		return w.WStmt*d.Stmt + w.WBB*d.BB + w.WIter*d.LoopIters + w.WCall*d.Calls
+	})
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/loc"
+	"repro/internal/work"
+)
+
+func TestWeightedModelCombinesCounts(t *testing.T) {
+	testLoc(t, func(l *loc.Location) {
+		w := Weights{WStmt: 1, WBB: 2, WIter: 0.5, WCall: 10}
+		c := NewWeighted(l, w, nil)
+		base := c.Stamp()
+		l.Counts.Accumulate(work.Cost{Stmt: 10, BB: 5, LoopIters: 4, Calls: 2})
+		// effort = 10 + 10 + 2 + 20 = 42, plus the structural +1.
+		if d := c.Stamp() - base; d != 43 {
+			t.Fatalf("weighted increment = %d, want 43", d)
+		}
+	})
+}
+
+func TestWeightedModeRegistered(t *testing.T) {
+	if !ModeWStmt.Deterministic() {
+		t.Fatal("lt_wstmt must be deterministic")
+	}
+	testLoc(t, func(l *loc.Location) {
+		c := New(ModeWStmt, l, nil)
+		if c.Name() != ModeWStmt {
+			t.Fatalf("mode = %s", c.Name())
+		}
+		s1 := c.Stamp()
+		l.Counts.Stmt += 100
+		s2 := c.Stamp()
+		if s2 <= s1 {
+			t.Fatal("weighted clock did not advance with statements")
+		}
+	})
+}
+
+func TestWeightedRespectsLamportRules(t *testing.T) {
+	testLoc(t, func(l *loc.Location) {
+		c := New(ModeWStmt, l, nil)
+		c.Stamp()
+		c.RecvPB(1000)
+		if s := c.Stamp(); s <= 1000 {
+			t.Fatalf("stamp %d does not exceed received piggyback", s)
+		}
+	})
+}
+
+func TestZeroWeightsDegradeToLt1(t *testing.T) {
+	testLoc(t, func(l *loc.Location) {
+		c := NewWeighted(l, Weights{}, nil)
+		base := c.Stamp()
+		l.Counts.Accumulate(work.Cost{Stmt: 100, BB: 50, Calls: 10})
+		if d := c.Stamp() - base; d != 1 {
+			t.Fatalf("zero-weight increment = %d, want 1", d)
+		}
+	})
+}

@@ -1,0 +1,86 @@
+package cube
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// profileJSON is the serialised form: flat severity records so the file is
+// both compact and greppable.
+type profileJSON struct {
+	Clock    string       `json:"clock"`
+	Metrics  []metricJSON `json:"metrics"`
+	Paths    []pathJSON   `json:"paths"`
+	LocNames []string     `json:"locations"`
+	Sev      []sevJSON    `json:"severities"`
+}
+
+type metricJSON struct {
+	Name   string `json:"name"`
+	Desc   string `json:"desc,omitempty"`
+	Parent int32  `json:"parent"`
+}
+
+type pathJSON struct {
+	Name   string `json:"name"`
+	Parent int32  `json:"parent"`
+}
+
+type sevJSON struct {
+	Metric int32     `json:"m"`
+	Path   int32     `json:"p"`
+	Vals   []float64 `json:"v"`
+}
+
+// Write serialises the profile as JSON.
+func (p *Profile) Write(w io.Writer) error {
+	out := profileJSON{Clock: p.Clock, LocNames: p.LocNames}
+	for _, m := range p.Metrics {
+		out.Metrics = append(out.Metrics, metricJSON{Name: m.Name, Desc: m.Desc, Parent: int32(m.Parent)})
+	}
+	for _, c := range p.Paths {
+		out.Paths = append(out.Paths, pathJSON{Name: c.Name, Parent: int32(c.Parent)})
+	}
+	// Deterministic order: metric id, then path id.
+	for m := 0; m < len(p.Metrics); m++ {
+		byPath := p.sev[MetricID(m)]
+		for path := 0; path < len(p.Paths); path++ {
+			if vals, ok := byPath[PathID(path)]; ok {
+				out.Sev = append(out.Sev, sevJSON{Metric: int32(m), Path: int32(path), Vals: vals})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Read deserialises a profile written by Write.
+func Read(r io.Reader) (*Profile, error) {
+	var in profileJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("cube: decoding profile: %w", err)
+	}
+	p := New(in.Clock, in.LocNames)
+	for _, m := range in.Metrics {
+		p.Metrics = append(p.Metrics, Metric{Name: m.Name, Desc: m.Desc, Parent: MetricID(m.Parent)})
+		p.metricByName[m.Name] = MetricID(len(p.Metrics) - 1)
+	}
+	for _, c := range in.Paths {
+		id := PathID(len(p.Paths))
+		p.Paths = append(p.Paths, CallPath{Name: c.Name, Parent: PathID(c.Parent)})
+		p.pathByKey[pathKey{PathID(c.Parent), c.Name}] = id
+	}
+	for _, s := range in.Sev {
+		if int(s.Metric) >= len(p.Metrics) || int(s.Path) >= len(p.Paths) {
+			return nil, fmt.Errorf("cube: severity references unknown metric/path")
+		}
+		for l, v := range s.Vals {
+			if l >= p.NumLocs() {
+				return nil, fmt.Errorf("cube: severity has %d values for %d locations", len(s.Vals), p.NumLocs())
+			}
+			p.Add(MetricID(s.Metric), PathID(s.Path), l, v)
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,93 @@
+package cube
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math"
+	"strings"
+	"testing"
+)
+
+func imbalancedProfile() *Profile {
+	p := New("tsc", []string{"r0", "r1", "r2", "r3"})
+	time := p.AddMetric("time", "", NoParent)
+	comp := p.AddMetric("comp", "", time)
+	balanced := p.Path(NoParent, "balanced")
+	skewed := p.Path(NoParent, "skewed")
+	for l := 0; l < 4; l++ {
+		p.Add(comp, balanced, l, 10)
+	}
+	p.Add(comp, skewed, 0, 30) // one rank does 3x
+	p.Add(comp, skewed, 1, 10)
+	p.Add(comp, skewed, 2, 10)
+	p.Add(comp, skewed, 3, 10)
+	return p
+}
+
+func TestImbalanceRanking(t *testing.T) {
+	p := imbalancedProfile()
+	stats := p.Imbalance("comp", 0)
+	if len(stats) != 2 {
+		t.Fatalf("stats = %d entries", len(stats))
+	}
+	if stats[0].Path != "skewed" {
+		t.Fatalf("most imbalanced = %q, want skewed", stats[0].Path)
+	}
+	if math.Abs(stats[0].Ratio-2.0) > 1e-12 { // max 30 / mean 15
+		t.Fatalf("skewed ratio = %g, want 2", stats[0].Ratio)
+	}
+	if math.Abs(stats[1].Ratio-1.0) > 1e-12 {
+		t.Fatalf("balanced ratio = %g, want 1", stats[1].Ratio)
+	}
+}
+
+func TestImbalanceMinMeanFilter(t *testing.T) {
+	p := imbalancedProfile()
+	stats := p.Imbalance("comp", 12) // balanced mean 10 filtered out
+	if len(stats) != 1 || stats[0].Path != "skewed" {
+		t.Fatalf("filter failed: %+v", stats)
+	}
+}
+
+func TestImbalanceUnknownMetric(t *testing.T) {
+	if s := imbalancedProfile().Imbalance("nope", 0); s != nil {
+		t.Fatal("unknown metric should return nil")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	p := imbalancedProfile()
+	var buf bytes.Buffer
+	if err := p.WriteCSV(&buf, "comp"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // header + 2 paths
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] != "path" || rows[0][1] != "r0" {
+		t.Fatalf("header = %v", rows[0])
+	}
+	found := false
+	for _, r := range rows[1:] {
+		if r[0] == "skewed" {
+			found = true
+			if r[1] != "30" || r[2] != "10" {
+				t.Fatalf("skewed row = %v", r)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("skewed row missing")
+	}
+}
+
+func TestWriteCSVUnknownMetric(t *testing.T) {
+	var buf bytes.Buffer
+	if err := imbalancedProfile().WriteCSV(&buf, "nope"); err == nil || !strings.Contains(err.Error(), "no metric") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,262 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/jaccard"
+	"repro/internal/machine"
+	"repro/internal/measure"
+	"repro/internal/noise"
+	"repro/internal/scalasca"
+	"repro/internal/simmpi"
+	"repro/internal/simomp"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// RunResult is the outcome of one simulated job.
+type RunResult struct {
+	Mode    core.Mode // "" for an uninstrumented reference run
+	Wall    float64   // job virtual time, seconds
+	Phases  map[string]float64
+	Checks  []float64     // per-rank AppResult.Check
+	FoM     float64       // summed figure of merit (0 if not reported)
+	Trace   *trace.Trace  // nil for reference runs
+	Profile *cube.Profile // nil unless analyzed
+}
+
+// Run executes one configuration once.  mode "" runs uninstrumented;
+// analyze controls whether the trace is run through the analyzer.
+func Run(spec Spec, mode core.Mode, seed int64, np noise.Params, analyze bool) (*RunResult, error) {
+	var cfg *measure.Config
+	if mode != "" {
+		c := measure.DefaultConfig(mode)
+		cfg = &c
+	}
+	return RunWithConfig(spec, cfg, seed, np, analyze)
+}
+
+// RunWithConfig is Run with an explicit measurement configuration (nil
+// runs uninstrumented) — the hook for ablation studies that vary the
+// overhead model, filters or piggyback behaviour.
+func RunWithConfig(spec Spec, cfg *measure.Config, seed int64, np noise.Params, analyze bool) (*RunResult, error) {
+	k := vtime.NewKernel()
+	m := machine.New(k, machine.Jureca(spec.Nodes))
+	var place machine.Placement
+	var err error
+	if spec.OnePerDomain {
+		place, err = machine.PlaceOnePerDomain(m, spec.Ranks, spec.Threads)
+	} else {
+		place, err = machine.PlaceBlock(m, spec.Ranks, spec.Threads)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiment %s: %w", spec.Name, err)
+	}
+	var nm *noise.Model
+	if np != (noise.Params{}) {
+		nm = noise.NewModel(seed, np)
+	}
+	w := simmpi.NewWorld(k, m, place, simmpi.DefaultConfig(), simomp.DefaultCosts(), nm)
+	var meas *measure.Measurement
+	var mode core.Mode
+	if cfg != nil {
+		mode = cfg.Mode
+		meas = measure.New(*cfg)
+	}
+	out := &RunResult{
+		Mode:   mode,
+		Phases: make(map[string]float64),
+		Checks: make([]float64, spec.Ranks),
+	}
+	phaseSums := make(map[string]float64)
+	w.Launch(func(p *simmpi.Proc) {
+		r := measure.NewRank(meas, p)
+		r.Begin()
+		res := spec.App(r)
+		r.End()
+		out.Checks[p.Rank] = res.Check
+		out.FoM += res.FoM
+		for name, v := range res.Phases {
+			phaseSums[name] += v
+		}
+	})
+	if err := k.Run(); err != nil {
+		return nil, fmt.Errorf("experiment %s (%s): %w", spec.Name, mode, err)
+	}
+	out.Wall = k.Now()
+	for name, v := range phaseSums {
+		out.Phases[name] = v / float64(spec.Ranks)
+	}
+	if meas != nil {
+		out.Trace = meas.Trace
+		if analyze {
+			prof, err := scalasca.Analyze(meas.Trace)
+			if err != nil {
+				return nil, fmt.Errorf("experiment %s (%s): analysis: %w", spec.Name, mode, err)
+			}
+			out.Profile = prof
+		}
+	}
+	return out, nil
+}
+
+// StudyOptions controls a full per-configuration study.
+type StudyOptions struct {
+	// Reps is the number of repetitions for reference timings and for
+	// the noise-sensitive modes (paper: 5).
+	Reps int
+	// Noise selects the noise environment (default noise.Cluster()).
+	Noise *noise.Params
+	// BaseSeed decorrelates repetitions.
+	BaseSeed int64
+	// Modes restricts the timer modes (default: all six).
+	Modes []core.Mode
+}
+
+func (o StudyOptions) fill() StudyOptions {
+	if o.Reps == 0 {
+		o.Reps = 5
+	}
+	if o.Noise == nil {
+		p := noise.Cluster()
+		o.Noise = &p
+	}
+	if len(o.Modes) == 0 {
+		o.Modes = core.AllModes()
+	}
+	return o
+}
+
+// Study is the complete result set for one configuration: repeated
+// reference runs plus repeated measured runs per timer mode.
+type Study struct {
+	Spec Spec
+	Opts StudyOptions
+	Refs []*RunResult
+	Runs map[core.Mode][]*RunResult
+}
+
+// RunStudy executes the full protocol of §IV-B for one configuration:
+// five uninstrumented reference runs, then instrumented runs with every
+// clock.  The noise-sensitive modes (tsc, lt_hwctr) are measured and
+// analyzed Reps times; the deterministic logical modes are timed Reps
+// times (their wall time is still noisy) but analyzed once, since their
+// traces repeat bit-for-bit.
+func RunStudy(spec Spec, opts StudyOptions) (*Study, error) {
+	opts = opts.fill()
+	st := &Study{Spec: spec, Opts: opts, Runs: make(map[core.Mode][]*RunResult)}
+	for rep := 0; rep < opts.Reps; rep++ {
+		res, err := Run(spec, "", opts.BaseSeed+int64(rep), *opts.Noise, false)
+		if err != nil {
+			return nil, err
+		}
+		st.Refs = append(st.Refs, res)
+	}
+	for _, mode := range opts.Modes {
+		for rep := 0; rep < opts.Reps; rep++ {
+			analyze := rep == 0 || !mode.Deterministic()
+			res, err := Run(spec, mode, opts.BaseSeed+int64(rep), *opts.Noise, analyze)
+			if err != nil {
+				return nil, err
+			}
+			st.Runs[mode] = append(st.Runs[mode], res)
+		}
+	}
+	return st, nil
+}
+
+// RefWall returns the mean reference wall time.
+func (s *Study) RefWall() float64 { return meanWall(s.Refs) }
+
+// ModeWall returns the mean wall time of a mode's runs.
+func (s *Study) ModeWall(mode core.Mode) float64 { return meanWall(s.Runs[mode]) }
+
+// Overhead returns the relative instrumentation overhead of a mode in
+// percent, against the reference mean.
+func (s *Study) Overhead(mode core.Mode) float64 {
+	ref := s.RefWall()
+	if ref == 0 {
+		return 0
+	}
+	return 100 * (s.ModeWall(mode) - ref) / ref
+}
+
+// PhaseOverhead returns the overhead of one named phase in percent.
+func (s *Study) PhaseOverhead(mode core.Mode, phase string) float64 {
+	ref := meanPhase(s.Refs, phase)
+	if ref == 0 {
+		return 0
+	}
+	return 100 * (meanPhase(s.Runs[mode], phase) - ref) / ref
+}
+
+// MeanProfile returns the mode's analysis profile averaged over the
+// analyzed repetitions.
+func (s *Study) MeanProfile(mode core.Mode) *cube.Profile {
+	var ps []*cube.Profile
+	for _, r := range s.Runs[mode] {
+		if r.Profile != nil {
+			ps = append(ps, r.Profile)
+		}
+	}
+	return cube.Mean(ps)
+}
+
+// JaccardVsTsc returns J_(M,C) between a logical mode's mean profile and
+// the tsc mean profile (paper Figs. 3 and 4).
+func (s *Study) JaccardVsTsc(mode core.Mode) float64 {
+	tsc := s.MeanProfile(core.ModeTSC)
+	other := s.MeanProfile(mode)
+	if tsc == nil || other == nil {
+		return 0
+	}
+	return jaccard.Score(other.MCMap(), tsc.MCMap())
+}
+
+// JaccardCallMap returns J_C^metric: the similarity of call-path
+// contributions to one metric between a mode and tsc (the per-metric
+// scores annotated on the paper's Figs. 5, 6 and 9).
+func (s *Study) JaccardCallMap(mode core.Mode, metric string) float64 {
+	tsc := s.MeanProfile(core.ModeTSC)
+	other := s.MeanProfile(mode)
+	if tsc == nil || other == nil {
+		return 0
+	}
+	return jaccard.Score(other.CallMap(metric), tsc.CallMap(metric))
+}
+
+// MinRepJaccard returns the minimal pairwise J_(M,C) between a mode's
+// analyzed repetitions — the run-to-run stability of the analysis.
+func (s *Study) MinRepJaccard(mode core.Mode) float64 {
+	var ms []map[string]float64
+	for _, r := range s.Runs[mode] {
+		if r.Profile != nil {
+			ms = append(ms, r.Profile.MCMap())
+		}
+	}
+	return jaccard.MinPairwise(ms)
+}
+
+func meanWall(rs []*RunResult) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
+	var t float64
+	for _, r := range rs {
+		t += r.Wall
+	}
+	return t / float64(len(rs))
+}
+
+func meanPhase(rs []*RunResult, phase string) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
+	var t float64
+	for _, r := range rs {
+		t += r.Phases[phase]
+	}
+	return t / float64(len(rs))
+}

@@ -1,0 +1,79 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/noise"
+)
+
+// ScalePoint is one configuration of a preliminary scaling study
+// (paper §IV-B: "We run each benchmark without instrumentation with
+// varied configurations and collect the benchmark's performance results
+// ... preliminary scaling studies, which already indicate possible causes
+// for performance loss").
+type ScalePoint struct {
+	Ranks, Threads int
+	Nodes          int
+	OnePerDomain   bool
+	Wall           float64 // mean uninstrumented run time, seconds
+	FoM            float64 // mean figure of merit (0 if not reported)
+	Speedup        float64 // vs the first point
+	Efficiency     float64 // speedup / resource ratio
+}
+
+// ScalingStudy runs the given app (taken from base) uninstrumented at a
+// series of (ranks, threads) points and reports run times, speedups and
+// parallel efficiencies.  Points that do not fit the machine are skipped
+// with an error entry.
+func ScalingStudy(base Spec, points [][2]int, reps int, seed int64, np noise.Params) ([]ScalePoint, error) {
+	if reps <= 0 {
+		reps = 3
+	}
+	var out []ScalePoint
+	for _, pt := range points {
+		spec := base
+		spec.Ranks, spec.Threads = pt[0], pt[1]
+		spec.Nodes = (pt[0]*pt[1] + 127) / 128
+		if spec.Nodes < 1 {
+			spec.Nodes = 1
+		}
+		spec.OnePerDomain = false
+		var total, fom float64
+		for rep := 0; rep < reps; rep++ {
+			res, err := Run(spec, "", seed+int64(rep), np, false)
+			if err != nil {
+				return nil, fmt.Errorf("scaling point %dx%d: %w", pt[0], pt[1], err)
+			}
+			total += res.Wall
+			fom += res.FoM
+		}
+		out = append(out, ScalePoint{
+			Ranks: pt[0], Threads: pt[1], Nodes: spec.Nodes,
+			Wall: total / float64(reps),
+			FoM:  fom / float64(reps),
+		})
+	}
+	if len(out) > 0 && out[0].Wall > 0 {
+		baseCores := float64(out[0].Ranks * out[0].Threads)
+		for i := range out {
+			out[i].Speedup = out[0].Wall / out[i].Wall
+			cores := float64(out[i].Ranks * out[i].Threads)
+			out[i].Efficiency = out[i].Speedup * baseCores / cores
+		}
+	}
+	return out, nil
+}
+
+// RenderScaling writes a scaling table.
+func RenderScaling(w io.Writer, name string, points []ScalePoint) {
+	fmt.Fprintf(w, "scaling study: %s (uninstrumented reference timings)\n", name)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ranks\tthreads\tnodes\twall/s\tFoM\tspeedup\tefficiency")
+	for _, p := range points {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%.4f\t%.4g\t%.2f\t%.2f\n",
+			p.Ranks, p.Threads, p.Nodes, p.Wall, p.FoM, p.Speedup, p.Efficiency)
+	}
+	tw.Flush()
+}

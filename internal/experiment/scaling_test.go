@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/noise"
+)
+
+func TestScalingStudyBasics(t *testing.T) {
+	pts, err := ScalingStudy(tinySpec(), [][2]int{{1, 1}, {2, 1}, {4, 1}}, 2, 1, noise.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Speedup != 1 || pts[0].Efficiency != 1 {
+		t.Fatalf("first point not normalised: %+v", pts[0])
+	}
+	for _, p := range pts {
+		if p.Wall <= 0 {
+			t.Fatalf("bad wall time: %+v", p)
+		}
+		if p.Efficiency < 0 || p.Efficiency > 4 {
+			t.Fatalf("implausible efficiency: %+v", p)
+		}
+	}
+}
+
+func TestScalingStudyAutoSizesNodes(t *testing.T) {
+	pts, err := ScalingStudy(tinySpec(), [][2]int{{256, 1}}, 1, 1, noise.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Nodes != 2 {
+		t.Fatalf("256 single-thread ranks need 2 nodes, got %d", pts[0].Nodes)
+	}
+}
+
+func TestRenderScaling(t *testing.T) {
+	pts := []ScalePoint{{Ranks: 2, Threads: 4, Nodes: 1, Wall: 0.5, Speedup: 1, Efficiency: 1}}
+	var buf bytes.Buffer
+	RenderScaling(&buf, "demo", pts)
+	out := buf.String()
+	for _, want := range []string{"demo", "ranks", "0.5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWithConfigNilIsReference(t *testing.T) {
+	res, err := RunWithConfig(tinySpec(), nil, 1, noise.Params{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil || res.Mode != "" {
+		t.Fatal("nil config must run uninstrumented")
+	}
+}

@@ -1,0 +1,177 @@
+package experiment
+
+// Story tests: regression guards for the paper-shape claims documented in
+// EXPERIMENTS.md, at quick scale.  Each test pins one qualitative finding
+// of the paper's §V so that model tuning cannot silently lose it.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/noise"
+	"repro/internal/scalasca"
+)
+
+func quickStudy(t *testing.T, name string, modes ...core.Mode) *Study {
+	t.Helper()
+	spec, err := SpecByName(name, Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := RunStudy(spec, StudyOptions{Reps: 2, Modes: modes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// §V-A / Fig 2: light instrumentation speeds the MiniFE init phase up,
+// the counting clocks roughly double it.
+func TestStoryMiniFEInitOverheads(t *testing.T) {
+	st := quickStudy(t, "MiniFE-2", core.ModeTSC, core.ModeLt1, core.ModeBB, core.ModeHwctr)
+	if oh := st.PhaseOverhead(core.ModeTSC, "structgen"); oh > -5 {
+		t.Fatalf("tsc structgen overhead = %.1f%%, want clearly negative", oh)
+	}
+	if oh := st.PhaseOverhead(core.ModeBB, "structgen"); oh < 50 {
+		t.Fatalf("lt_bb structgen overhead = %.1f%%, want large", oh)
+	}
+	if oh := st.PhaseOverhead(core.ModeHwctr, "structgen"); oh < 40 {
+		t.Fatalf("lt_hwctr structgen overhead = %.1f%%, want large", oh)
+	}
+	// The solver phase hides counting in bandwidth stalls.
+	if oh := st.PhaseOverhead(core.ModeBB, "solve"); oh > 8 {
+		t.Fatalf("lt_bb solve overhead = %.1f%%, want small", oh)
+	}
+}
+
+// §V-B: every logical mode beats lt_1, and the pure logical modes repeat
+// exactly while tsc does not.
+func TestStoryJaccardOrdering(t *testing.T) {
+	st := quickStudy(t, "MiniFE-1", core.ModeTSC, core.ModeLt1, core.ModeStmt, core.ModeHwctr)
+	j1 := st.JaccardVsTsc(core.ModeLt1)
+	js := st.JaccardVsTsc(core.ModeStmt)
+	jh := st.JaccardVsTsc(core.ModeHwctr)
+	if j1 >= js || j1 >= jh {
+		t.Fatalf("lt_1 (%.3f) should score below lt_stmt (%.3f) and lt_hwctr (%.3f)", j1, js, jh)
+	}
+	if r := st.MinRepJaccard(core.ModeStmt); r != 1 {
+		t.Fatalf("lt_stmt rep-to-rep = %g, want exactly 1", r)
+	}
+	if r := st.MinRepJaccard(core.ModeTSC); r >= 1 {
+		t.Fatalf("tsc rep-to-rep = %g, want < 1", r)
+	}
+}
+
+// §V-C1: lt_loop over-weights the cheap vector kernels; lt_1 over-weights
+// the call-dense assembly.
+func TestStoryMiniFEAttributionFailures(t *testing.T) {
+	st := quickStudy(t, "MiniFE-1", core.ModeLt1, core.ModeLoop)
+	share := func(mode core.Mode, frag string) float64 {
+		p := st.MeanProfile(mode)
+		var v float64
+		for path, pct := range p.PathPercents(scalasca.MComp) {
+			if strings.Contains(path, frag) {
+				v += pct
+			}
+		}
+		return v
+	}
+	if w := share(core.ModeLoop, "waxpby"); w < 25 {
+		t.Fatalf("lt_loop waxpby share = %.1f%%M, want over-weighted", w)
+	}
+	if a := share(core.ModeLt1, "assemble"); a < 40 {
+		t.Fatalf("lt_1 assembly share = %.1f%%M, want dominant", a)
+	}
+	if m := share(core.ModeLt1, "matvec_loop"); m > 5 {
+		t.Fatalf("lt_1 matvec share = %.1f%%M, want ~0 (no calls in the loop)", m)
+	}
+}
+
+// §V-C2: MiniFE-2's serial regions surface as idle threads; the memory
+// contention does not change the logical measurements at all.
+func TestStoryMiniFE2IdleAndContention(t *testing.T) {
+	st1 := quickStudy(t, "MiniFE-1", core.ModeStmt)
+	st2 := quickStudy(t, "MiniFE-2", core.ModeTSC, core.ModeStmt)
+	p := st2.MeanProfile(core.ModeTSC)
+	if idle := p.PercentOfTime(scalasca.MIdleThreads); idle < 25 {
+		t.Fatalf("tsc idle = %.1f%%T, want substantial", idle)
+	}
+	// The logical comp distribution is identical across the two
+	// configurations (paper: "the total computational effort is the
+	// same...  cannot detect the memory contention issue").
+	c1 := st1.MeanProfile(core.ModeStmt).PathPercents(scalasca.MComp)
+	c2 := st2.MeanProfile(core.ModeStmt).PathPercents(scalasca.MComp)
+	for path, v := range c1 {
+		if d := v - c2[path]; d > 1 || d < -1 {
+			t.Fatalf("lt_stmt comp share of %q differs between MiniFE-1 (%.2f) and MiniFE-2 (%.2f)", path, v, c2[path])
+		}
+	}
+}
+
+// §V-C3: delay costs point at the artificially imbalanced material update
+// in every effort-model mode.
+func TestStoryLULESHDelayCosts(t *testing.T) {
+	st := quickStudy(t, "LULESH-1", core.ModeTSC, core.ModeStmt, core.ModeHwctr)
+	for _, mode := range []core.Mode{core.ModeTSC, core.ModeStmt, core.ModeHwctr} {
+		p := st.MeanProfile(mode)
+		var material float64
+		for path, pct := range p.PathPercents(scalasca.MDelayNxN) {
+			if strings.Contains(path, "EvalEOSForElems") || strings.Contains(path, "ApplyMaterialProperties") {
+				material += pct
+			}
+		}
+		if material < 50 {
+			t.Fatalf("%s: material update carries %.1f%%M of delay costs, want most", mode, material)
+		}
+	}
+}
+
+// §V-C4: LULESH-2's NUMA late senders appear under tsc but not under the
+// counting clocks.
+func TestStoryLULESH2LateSender(t *testing.T) {
+	spec, err := SpecByName("LULESH-2", Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(mode core.Mode) float64 {
+		res, err := Run(spec, mode, 1, noise.Cluster(), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Profile.PercentOfTime(scalasca.MLateSender)
+	}
+	tsc := run(core.ModeTSC)
+	stmt := run(core.ModeStmt)
+	if tsc <= 0.05 {
+		t.Fatalf("tsc latesender = %.2f%%T, want visible (NUMA contention)", tsc)
+	}
+	if stmt > tsc/4 {
+		t.Fatalf("lt_stmt latesender = %.2f%%T vs tsc %.2f%%T; counting clocks should miss it", stmt, tsc)
+	}
+}
+
+// §V-C5: at 128 ranks the all-to-all wait dominates TeaLeaf's MPI time
+// under tsc, and lt_hwctr is the logical mode that shows it.
+func TestStoryTeaLeaf4AllToAll(t *testing.T) {
+	spec, err := SpecByName("TeaLeaf-4", Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(mode core.Mode) (waitNxN, mpi float64) {
+		res, err := Run(spec, mode, 1, noise.Cluster(), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Profile.PercentOfTime(scalasca.MWaitNxN), res.Profile.PercentOfTime(scalasca.MMPI)
+	}
+	tscWait, _ := run(core.ModeTSC)
+	hwWait, _ := run(core.ModeHwctr)
+	stmtWait, _ := run(core.ModeStmt)
+	if tscWait <= 0.1 {
+		t.Fatalf("tsc wait_nxn = %.2f%%T at 128 ranks, want visible", tscWait)
+	}
+	if hwWait <= stmtWait {
+		t.Fatalf("lt_hwctr wait_nxn (%.2f%%T) should exceed lt_stmt's (%.2f%%T)", hwWait, stmtWait)
+	}
+}

@@ -1,0 +1,74 @@
+// Package loc defines the per-location execution context shared by the
+// simulated MPI and OpenMP runtimes.
+//
+// "Location" is Score-P terminology: every OpenMP thread of every MPI rank
+// is one location, and the trace file records one event stream per
+// location (paper §II).  Here a Location binds a vtime actor to the core
+// it is pinned on, the machine model that prices its work, its private
+// noise stream, and the accumulated effort counters that the logical-clock
+// effort models read.
+package loc
+
+import (
+	"repro/internal/machine"
+	"repro/internal/noise"
+	"repro/internal/vtime"
+	"repro/internal/work"
+)
+
+// Location is one simulated hardware thread running application code.
+type Location struct {
+	// Index is the global location id: rank*threadsPerRank + thread.
+	Index int
+	// Rank and Thread identify the location within the job.
+	Rank, Thread int
+	// Actor is the vtime actor executing this location's code.
+	Actor *vtime.Actor
+	// Core is the core the location is pinned to.
+	Core machine.CoreID
+	// M prices work quanta and transfers.
+	M *machine.Machine
+	// Noise is the location's private noise stream; nil disables noise.
+	Noise *noise.Source
+	// Counts accumulates the countable effort dimensions (loop
+	// iterations, basic blocks, statements, instructions) consumed by the
+	// logical clocks.
+	Counts work.Counts
+}
+
+// Work executes one quantum of application work: the effort counters
+// advance by the declared counts and virtual time advances according to
+// the machine model (roofline of compute and DRAM time under contention,
+// plus OS-noise detours).
+func (l *Location) Work(c work.Cost) {
+	l.WorkOverhead(c, 0)
+}
+
+// WorkOverhead executes a quantum with extraInstr instrumentation
+// instructions riding along.  The extra instructions join the quantum's
+// instruction stream in the roofline — so they hide behind bandwidth
+// stalls in memory-bound loops but fully serialize with latency-bound,
+// instruction-dominated code — and they are not counted as application
+// effort, so the logical clocks do not see them.
+func (l *Location) WorkOverhead(c work.Cost, extraInstr float64) {
+	l.Counts.Accumulate(c)
+	exec := c
+	exec.Instr += extraInstr
+	l.M.Exec(l.Actor, l.Core, exec, l.Noise)
+}
+
+// Now returns the location's current true virtual time.  Physical clock
+// readings (with offset/drift/noise) are produced by the measurement
+// layer, not here.
+func (l *Location) Now() float64 { return l.Actor.Now() }
+
+// SpinFor accounts d seconds of spin-waiting inside a runtime library:
+// time passes (handled by the caller's blocking primitive, so this only
+// accrues counters) and the hardware instruction counter advances at the
+// machine's spin rate.  The paper relies on this effect: waiting shows up
+// as instructions inside MPI_Waitall under lt_hwctr (§V-C3).
+func (l *Location) SpinFor(d float64) {
+	if d > 0 {
+		l.Counts.Instr += d * l.M.Cfg.SpinIPS
+	}
+}

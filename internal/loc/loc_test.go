@@ -1,0 +1,112 @@
+package loc
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/noise"
+	"repro/internal/vtime"
+	"repro/internal/work"
+)
+
+func withLocation(t *testing.T, src *noise.Source, fn func(l *Location)) {
+	t.Helper()
+	k := vtime.NewKernel()
+	m := machine.New(k, machine.Jureca(1))
+	l := &Location{Index: 3, Rank: 1, Thread: 2, Core: 5, M: m, Noise: src}
+	k.Spawn("loc", func(a *vtime.Actor) {
+		l.Actor = a
+		fn(l)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkAccumulatesAndAdvances(t *testing.T) {
+	withLocation(t, nil, func(l *Location) {
+		before := l.Now()
+		l.Work(work.Cost{Instr: 8e9, BB: 7, Stmt: 9, LoopIters: 3, Calls: 2})
+		if l.Now()-before < 0.9 { // 8e9 instr at 8e9 IPS ~ 1 s
+			t.Fatalf("virtual time advanced only %g", l.Now()-before)
+		}
+		if l.Counts.BB != 7 || l.Counts.Stmt != 9 || l.Counts.LoopIters != 3 || l.Counts.Calls != 2 {
+			t.Fatalf("counts wrong: %+v", l.Counts)
+		}
+	})
+}
+
+func TestWorkOverheadUncounted(t *testing.T) {
+	var plain, padded float64
+	withLocation(t, nil, func(l *Location) {
+		t0 := l.Now()
+		l.WorkOverhead(work.Cost{Instr: 1e9}, 0)
+		plain = l.Now() - t0
+		if l.Counts.Instr != 1e9 {
+			t.Fatalf("app instructions not counted: %g", l.Counts.Instr)
+		}
+		t0 = l.Now()
+		l.WorkOverhead(work.Cost{Instr: 1e9}, 1e9)
+		padded = l.Now() - t0
+		if l.Counts.Instr != 2e9 {
+			t.Fatalf("overhead instructions leaked into counts: %g", l.Counts.Instr)
+		}
+	})
+	if padded <= plain {
+		t.Fatalf("overhead instructions cost no time: %g vs %g", padded, plain)
+	}
+}
+
+func TestOverheadHidesBehindBandwidth(t *testing.T) {
+	// In a memory-bound quantum, a modest instruction overhead must not
+	// extend the duration (roofline overlap).
+	var lean, fat float64
+	withLocation(t, nil, func(l *Location) {
+		l.M.AddWorkingSet(l.Core, 100*l.M.Cfg.L3PerDomain)
+		bytes := l.M.Cfg.DRAMBWPerDomain // ~1 s of DRAM traffic
+		t0 := l.Now()
+		l.WorkOverhead(work.Cost{Bytes: bytes}, 0)
+		lean = l.Now() - t0
+		t0 = l.Now()
+		l.WorkOverhead(work.Cost{Bytes: bytes}, 1e8) // 12.5 ms of instructions
+		fat = l.Now() - t0
+	})
+	if diff := (fat - lean) / lean; diff > 0.01 {
+		t.Fatalf("overhead not hidden behind bandwidth: +%.1f%%", 100*diff)
+	}
+}
+
+func TestSpinForUsesMachineRate(t *testing.T) {
+	withLocation(t, nil, func(l *Location) {
+		l.SpinFor(0.5)
+		want := 0.5 * l.M.Cfg.SpinIPS
+		if l.Counts.Instr != want {
+			t.Fatalf("spin instr = %g, want %g", l.Counts.Instr, want)
+		}
+		l.SpinFor(-1) // negative durations are ignored
+		if l.Counts.Instr != want {
+			t.Fatal("negative spin changed the counter")
+		}
+	})
+}
+
+func TestNoiseAffectsDurationNotCounts(t *testing.T) {
+	nm := noise.NewModel(1, noise.Params{CPUJitterRel: 0.3})
+	var noisy work.Counts
+	withLocation(t, nm.Source(0, 0), func(l *Location) {
+		for i := 0; i < 20; i++ {
+			l.Work(work.Cost{Instr: 1e7, BB: 10})
+		}
+		noisy = l.Counts
+	})
+	var clean work.Counts
+	withLocation(t, nil, func(l *Location) {
+		for i := 0; i < 20; i++ {
+			l.Work(work.Cost{Instr: 1e7, BB: 10})
+		}
+		clean = l.Counts
+	})
+	if noisy != clean {
+		t.Fatalf("noise changed effort counts: %+v vs %+v", noisy, clean)
+	}
+}

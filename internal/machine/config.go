@@ -1,0 +1,88 @@
+package machine
+
+// Config describes the simulated cluster hardware.  The defaults in
+// Jureca() resemble the standard (DC-CPU) nodes of the Jureca-DC system the
+// paper measured on: dual-socket AMD EPYC 7742 nodes with 8 NUMA domains of
+// 16 cores each and an InfiniBand HDR100 fabric.
+type Config struct {
+	Nodes            int // number of compute nodes
+	SocketsPerNode   int // CPU sockets per node
+	DomainsPerSocket int // NUMA domains per socket
+	CoresPerDomain   int // cores per NUMA domain
+
+	// CoreFlops is the sustained floating-point rate of one core in
+	// flop/s for the compute-bound part of a work quantum.
+	CoreFlops float64
+	// CoreIPS is the sustained instruction rate of one core; it converts
+	// instruction counts into compute time for instruction-dominated
+	// (non-floating-point) work.
+	CoreIPS float64
+	// CacheBWPerCore is the per-core bandwidth, in bytes/s, at which
+	// cache-resident traffic is served.  Cache traffic does not contend
+	// across cores.
+	CacheBWPerCore float64
+	// DRAMBWPerDomain is the DRAM bandwidth of one NUMA domain in
+	// bytes/s; all cores of the domain contend for it.
+	DRAMBWPerDomain float64
+	// L3PerDomain is the last-level cache capacity of one NUMA domain in
+	// bytes.
+	L3PerDomain float64
+	// MissSharpness controls how quickly the DRAM-miss ratio grows once a
+	// domain's working set exceeds its L3: ratio = (ws-L3)/(sharpness*L3),
+	// clamped to [MinMissRatio, 1].
+	MissSharpness float64
+	// MinMissRatio is the DRAM traffic fraction of a cache-resident
+	// working set (cold misses, streaming stores).
+	MinMissRatio float64
+
+	// InterNodeLatency and InterNodeBW describe the fabric between nodes.
+	InterNodeLatency float64 // seconds
+	InterNodeBW      float64 // bytes/s per node adapter
+	// IntraNodeLatency and IntraNodeBW describe shared-memory transport
+	// between ranks on the same node.
+	IntraNodeLatency float64
+	IntraNodeBW      float64
+
+	// SpinIPS is the instruction rate retired by a core that spin-waits
+	// inside the MPI or OpenMP runtime.  It makes waiting visible to the
+	// hardware-counter clock (lt_hwctr), as the paper observes in
+	// MPI_Waitall (§V-C3).
+	SpinIPS float64
+}
+
+// Jureca returns a configuration resembling one or more Jureca-DC standard
+// nodes.  Rates are deliberately round numbers: the reproduction targets
+// the paper's ratios and phenomena, not absolute Jureca timings.
+func Jureca(nodes int) Config {
+	return Config{
+		Nodes:            nodes,
+		SocketsPerNode:   2,
+		DomainsPerSocket: 4,
+		CoresPerDomain:   16,
+		CoreFlops:        8e9,    // ~2.25 GHz * modest vector issue
+		CoreIPS:          8e9,    // ~3.5 IPC at 2.25 GHz
+		CacheBWPerCore:   32e9,   // L1/L2/L3-resident streaming
+		DRAMBWPerDomain:  24e9,   // one NUMA domain's memory controllers
+		L3PerDomain:      64e6,   // 4 CCX * 16 MB
+		MissSharpness:    1.0,    // streaming working sets saturate quickly past L3
+		MinMissRatio:     0.02,   // cold misses even when resident
+		InterNodeLatency: 1.5e-6, // HDR100 class
+		InterNodeBW:      12e9,
+		IntraNodeLatency: 0.4e-6,
+		IntraNodeBW:      40e9,
+		SpinIPS:          1.5e9,
+	}
+}
+
+// CoresPerNode returns the number of cores on one node.
+func (c Config) CoresPerNode() int {
+	return c.SocketsPerNode * c.DomainsPerSocket * c.CoresPerDomain
+}
+
+// TotalCores returns the number of cores in the whole allocation.
+func (c Config) TotalCores() int { return c.Nodes * c.CoresPerNode() }
+
+// TotalDomains returns the number of NUMA domains in the allocation.
+func (c Config) TotalDomains() int {
+	return c.Nodes * c.SocketsPerNode * c.DomainsPerSocket
+}

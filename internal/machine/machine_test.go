@@ -1,0 +1,292 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vtime"
+	"repro/internal/work"
+)
+
+func near(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol*math.Max(1, math.Abs(want)) {
+		t.Fatalf("%s: got %.6g, want %.6g", msg, got, want)
+	}
+}
+
+func TestTopologyIndexing(t *testing.T) {
+	cfg := Jureca(2)
+	k := vtime.NewKernel()
+	m := New(k, cfg)
+	if cfg.CoresPerNode() != 128 {
+		t.Fatalf("cores per node = %d", cfg.CoresPerNode())
+	}
+	if cfg.TotalCores() != 256 || cfg.TotalDomains() != 16 {
+		t.Fatalf("total cores/domains = %d/%d", cfg.TotalCores(), cfg.TotalDomains())
+	}
+	cases := []struct {
+		core           CoreID
+		node, dom, soc int
+	}{
+		{0, 0, 0, 0},
+		{15, 0, 0, 0},
+		{16, 0, 1, 0},
+		{63, 0, 3, 0},
+		{64, 0, 4, 1},
+		{127, 0, 7, 1},
+		{128, 1, 8, 2},
+		{255, 1, 15, 3},
+	}
+	for _, c := range cases {
+		if n := m.NodeOf(c.core); n != c.node {
+			t.Errorf("NodeOf(%d) = %d, want %d", c.core, n, c.node)
+		}
+		if d := m.DomainOf(c.core); d != c.dom {
+			t.Errorf("DomainOf(%d) = %d, want %d", c.core, d, c.dom)
+		}
+		if s := m.SocketOf(c.core); s != c.soc {
+			t.Errorf("SocketOf(%d) = %d, want %d", c.core, s, c.soc)
+		}
+	}
+}
+
+func TestExecComputeBoundDuration(t *testing.T) {
+	cfg := Jureca(1)
+	k := vtime.NewKernel()
+	m := New(k, cfg)
+	var end float64
+	k.Spawn("w", func(a *vtime.Actor) {
+		m.Exec(a, 0, work.Cost{Flops: cfg.CoreFlops}, nil) // 1 s of flops
+		end = a.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	near(t, end, 1, 1e-9, "compute-bound quantum")
+}
+
+func TestExecInstructionBoundDuration(t *testing.T) {
+	cfg := Jureca(1)
+	k := vtime.NewKernel()
+	m := New(k, cfg)
+	var end float64
+	k.Spawn("w", func(a *vtime.Actor) {
+		m.Exec(a, 0, work.Cost{Instr: 2 * cfg.CoreIPS}, nil) // 2 s of instructions
+		end = a.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	near(t, end, 2, 1e-9, "instruction-bound quantum")
+}
+
+func TestMemoryContentionOnSharedDomain(t *testing.T) {
+	// Two threads on the same domain stream DRAM-resident data; each
+	// should take about twice as long as alone.  Working set far beyond
+	// L3 so miss ratio saturates at 1.
+	cfg := Jureca(1)
+	k := vtime.NewKernel()
+	m := New(k, cfg)
+	m.AddWorkingSet(0, 100*cfg.L3PerDomain)
+	bytes := cfg.DRAMBWPerDomain // 1 s of DRAM traffic alone
+	ends := make([]float64, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		core := CoreID(i) // both in domain 0
+		k.Spawn("w", func(a *vtime.Actor) {
+			m.Exec(a, core, work.Cost{Bytes: bytes}, nil)
+			ends[i] = a.Now()
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	near(t, ends[0], 2, 1e-6, "contended stream 0")
+	near(t, ends[1], 2, 1e-6, "contended stream 1")
+}
+
+func TestNoContentionAcrossDomains(t *testing.T) {
+	cfg := Jureca(1)
+	k := vtime.NewKernel()
+	m := New(k, cfg)
+	m.AddWorkingSet(0, 100*cfg.L3PerDomain)
+	m.AddWorkingSet(16, 100*cfg.L3PerDomain) // core 16 is in domain 1
+	bytes := cfg.DRAMBWPerDomain
+	ends := make([]float64, 2)
+	cores := []CoreID{0, 16}
+	for i := 0; i < 2; i++ {
+		i := i
+		k.Spawn("w", func(a *vtime.Actor) {
+			m.Exec(a, cores[i], work.Cost{Bytes: bytes}, nil)
+			ends[i] = a.Now()
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	near(t, ends[0], 1, 1e-6, "domain-0 stream")
+	near(t, ends[1], 1, 1e-6, "domain-1 stream")
+}
+
+func TestCacheResidencySpeedsUpTraffic(t *testing.T) {
+	// With a small working set, traffic is served from cache at
+	// CacheBWPerCore and barely touches DRAM.
+	cfg := Jureca(1)
+	k := vtime.NewKernel()
+	m := New(k, cfg)
+	m.AddWorkingSet(0, cfg.L3PerDomain/2)
+	bytes := cfg.CacheBWPerCore // ~1 s from cache
+	var end float64
+	k.Spawn("w", func(a *vtime.Actor) {
+		m.Exec(a, 0, work.Cost{Bytes: bytes}, nil)
+		end = a.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Expect close to hit-time (1-miss)*bytes/cacheBW, with a small DRAM
+	// component possibly dominating via the roofline max.
+	if end > 1.2 || end < 0.5 {
+		t.Fatalf("cache-resident stream took %g s, want about 1 s", end)
+	}
+}
+
+func TestMissRatioMonotoneInWorkingSet(t *testing.T) {
+	cfg := Jureca(1)
+	k := vtime.NewKernel()
+	m := New(k, cfg)
+	prev := -1.0
+	for ws := 0.0; ws < 3*cfg.L3PerDomain; ws += cfg.L3PerDomain / 8 {
+		m.ws[0] = ws
+		r := m.MissRatio(0)
+		if r < prev {
+			t.Fatalf("miss ratio decreased at ws=%g: %g < %g", ws, r, prev)
+		}
+		if r < cfg.MinMissRatio || r > 1 {
+			t.Fatalf("miss ratio %g out of range", r)
+		}
+		prev = r
+	}
+}
+
+func TestTransferIntraVsInterNode(t *testing.T) {
+	cfg := Jureca(2)
+	k := vtime.NewKernel()
+	m := New(k, cfg)
+	bytes := 1e6
+	var intra, inter float64
+	k.Spawn("intra", func(a *vtime.Actor) {
+		start := a.Now()
+		a.Execute(m.TransferAction(0, 64, bytes, nil)) // same node
+		intra = a.Now() - start
+	})
+	k.Spawn("inter", func(a *vtime.Actor) {
+		start := a.Now()
+		a.Execute(m.TransferAction(0, 128, bytes, nil)) // cross node
+		inter = a.Now() - start
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	wantIntra := cfg.IntraNodeLatency + bytes/cfg.IntraNodeBW
+	wantInter := cfg.InterNodeLatency + bytes/cfg.InterNodeBW
+	near(t, intra, wantIntra, 1e-6, "intra-node transfer")
+	near(t, inter, wantInter, 1e-6, "inter-node transfer")
+	if inter <= intra {
+		t.Fatal("inter-node transfer should be slower than intra-node")
+	}
+}
+
+func TestPlaceBlock(t *testing.T) {
+	cfg := Jureca(2)
+	m := New(vtime.NewKernel(), cfg)
+	p, err := PlaceBlock(m, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Core(0, 0) != 0 || p.Core(0, 3) != 3 || p.Core(1, 0) != 4 {
+		t.Fatalf("block placement wrong at start: %d %d %d", p.Core(0, 0), p.Core(0, 3), p.Core(1, 0))
+	}
+	if p.Core(63, 3) != 255 {
+		t.Fatalf("last core = %d, want 255", p.Core(63, 3))
+	}
+	if p.Location(2, 1) != 9 {
+		t.Fatalf("location = %d, want 9", p.Location(2, 1))
+	}
+	if _, err := PlaceBlock(m, 65, 4); err == nil {
+		t.Fatal("expected error for oversubscription")
+	}
+}
+
+func TestPlaceBlockUnevenNUMA(t *testing.T) {
+	// LULESH-2: 27 ranks x 4 threads on one 128-core node.  Domains 0-2
+	// host 4 ranks each; domains 3-7 host 3 ranks (and one spills).
+	cfg := Jureca(1)
+	m := New(vtime.NewKernel(), cfg)
+	p, err := PlaceBlock(m, 27, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perDomain := map[int]map[int]bool{}
+	for r := 0; r < 27; r++ {
+		for th := 0; th < 4; th++ {
+			d := m.DomainOf(p.Core(r, th))
+			if perDomain[d] == nil {
+				perDomain[d] = map[int]bool{}
+			}
+			perDomain[d][r] = true
+		}
+	}
+	full, partial := 0, 0
+	for d := 0; d < 8; d++ {
+		switch n := len(perDomain[d]); n {
+		case 4:
+			full++
+		case 0:
+			// unused tail domain
+		default:
+			partial++
+		}
+	}
+	if full < 3 {
+		t.Fatalf("expected at least 3 fully-packed domains, got %d (map %v)", full, perDomain)
+	}
+	if partial == 0 {
+		t.Fatal("expected some partially-packed domains")
+	}
+}
+
+func TestPlaceOnePerDomain(t *testing.T) {
+	cfg := Jureca(1)
+	m := New(vtime.NewKernel(), cfg)
+	p, err := PlaceOnePerDomain(m, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 8; r++ {
+		if d := m.DomainOf(p.Core(r, 0)); d != r {
+			t.Fatalf("rank %d on domain %d", r, d)
+		}
+	}
+	if _, err := PlaceOnePerDomain(m, 9, 1); err == nil {
+		t.Fatal("expected error: more ranks than domains")
+	}
+	if _, err := PlaceOnePerDomain(m, 8, 17); err == nil {
+		t.Fatal("expected error: more threads than cores per domain")
+	}
+}
+
+func TestWorkingSetAccounting(t *testing.T) {
+	cfg := Jureca(1)
+	m := New(vtime.NewKernel(), cfg)
+	m.AddWorkingSet(0, 1e6)
+	m.AddWorkingSet(3, 2e6) // same domain as core 0
+	if ws := m.WorkingSet(0); ws != 3e6 {
+		t.Fatalf("working set = %g, want 3e6", ws)
+	}
+	m.AddWorkingSet(0, -5e6) // clamped at zero
+	if ws := m.WorkingSet(0); ws != 0 {
+		t.Fatalf("working set = %g, want 0", ws)
+	}
+}

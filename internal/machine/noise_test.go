@@ -1,0 +1,97 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/noise"
+	"repro/internal/vtime"
+	"repro/internal/work"
+)
+
+func TestExecWithNoiseVariesDuration(t *testing.T) {
+	nm := noise.NewModel(1, noise.Params{CPUJitterRel: 0.1})
+	run := func(loc int) float64 {
+		k := vtime.NewKernel()
+		m := New(k, Jureca(1))
+		src := nm.Source(loc, 0)
+		var end float64
+		k.Spawn("w", func(a *vtime.Actor) {
+			for i := 0; i < 50; i++ {
+				m.Exec(a, 0, work.Cost{Instr: 1e7, Flops: 1e7}, src)
+			}
+			end = a.Now()
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	if run(0) == run(1) {
+		t.Fatal("different noise streams gave identical durations")
+	}
+	if run(0) != run(0) {
+		t.Fatal("same stream not reproducible")
+	}
+}
+
+func TestExecFavourableJitterNeverNegative(t *testing.T) {
+	// Strong favourable jitter must shorten, never invert, a quantum.
+	nm := noise.NewModel(7, noise.Params{CPUJitterRel: 0.5})
+	k := vtime.NewKernel()
+	m := New(k, Jureca(1))
+	src := nm.Source(0, 0)
+	k.Spawn("w", func(a *vtime.Actor) {
+		prev := a.Now()
+		for i := 0; i < 500; i++ {
+			m.Exec(a, 0, work.Cost{Instr: 1e5}, src)
+			if a.Now() < prev {
+				t.Error("time ran backwards")
+			}
+			prev = a.Now()
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransferWithNoiseJitters(t *testing.T) {
+	nm := noise.NewModel(2, noise.Params{NetLatJitterRel: 0.4, NetBWJitterRel: 0.2})
+	k := vtime.NewKernel()
+	m := New(k, Jureca(2))
+	src := nm.Source(0, 0)
+	var durations []float64
+	k.Spawn("w", func(a *vtime.Actor) {
+		for i := 0; i < 20; i++ {
+			t0 := a.Now()
+			a.Execute(m.TransferAction(0, 128, 1e5, src))
+			durations = append(durations, a.Now()-t0)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for _, d := range durations[1:] {
+		if d != durations[0] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("noisy transfers all identical")
+	}
+}
+
+func TestExecZeroCostIsFree(t *testing.T) {
+	k := vtime.NewKernel()
+	m := New(k, Jureca(1))
+	k.Spawn("w", func(a *vtime.Actor) {
+		m.Exec(a, 0, work.Cost{}, nil)
+		if a.Now() != 0 {
+			t.Errorf("zero-cost exec advanced time to %g", a.Now())
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

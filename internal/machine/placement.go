@@ -1,0 +1,72 @@
+package machine
+
+import "fmt"
+
+// Placement assigns each (rank, thread) pair of a job to a core.  It plays
+// the role of the pinning options discussed in the paper's §IV-B: the
+// distribution of ranks and threads over NUMA domains decides how much
+// memory contention each rank experiences.
+type Placement struct {
+	Ranks          int
+	ThreadsPerRank int
+	cores          [][]CoreID
+}
+
+// Core returns the core assigned to thread t of rank r.
+func (p Placement) Core(r, t int) CoreID { return p.cores[r][t] }
+
+// Locations returns the total number of locations (ranks × threads).
+func (p Placement) Locations() int { return p.Ranks * p.ThreadsPerRank }
+
+// Location flattens (rank, thread) into a location id, thread-major within
+// rank, matching Score-P's location numbering.
+func (p Placement) Location(r, t int) int { return r*p.ThreadsPerRank + t }
+
+// PlaceBlock pins ranks to consecutive blocks of cores: rank r's threads
+// occupy cores [r*T, (r+1)*T).  This is the typical srun/OpenMP pinning and
+// the placement used by MiniFE-2, LULESH-1/2 and all TeaLeaf
+// configurations.  Note that with T not dividing the domain size (for
+// example LULESH-2's 27 ranks × 4 threads on a 128-core node) the ranks
+// spread unevenly over NUMA domains, which is exactly the phenomenon
+// LULESH-2 studies.
+func PlaceBlock(m *Machine, ranks, threadsPerRank int) (Placement, error) {
+	need := ranks * threadsPerRank
+	if need > m.Cfg.TotalCores() {
+		return Placement{}, fmt.Errorf("machine: placement needs %d cores, have %d", need, m.Cfg.TotalCores())
+	}
+	p := Placement{Ranks: ranks, ThreadsPerRank: threadsPerRank}
+	p.cores = make([][]CoreID, ranks)
+	next := CoreID(0)
+	for r := 0; r < ranks; r++ {
+		p.cores[r] = make([]CoreID, threadsPerRank)
+		for t := 0; t < threadsPerRank; t++ {
+			p.cores[r][t] = next
+			next++
+		}
+	}
+	return p, nil
+}
+
+// PlaceOnePerDomain pins rank r's threads to consecutive cores starting at
+// the first core of NUMA domain r.  With one thread per rank this is the
+// "one rank per NUMA domain" placement of MiniFE-1; with 16 threads per
+// rank each rank exactly fills its domain (MiniFE-2).
+func PlaceOnePerDomain(m *Machine, ranks, threadsPerRank int) (Placement, error) {
+	if ranks > m.Cfg.TotalDomains() {
+		return Placement{}, fmt.Errorf("machine: %d ranks exceed %d NUMA domains", ranks, m.Cfg.TotalDomains())
+	}
+	if threadsPerRank > m.Cfg.CoresPerDomain {
+		return Placement{}, fmt.Errorf("machine: %d threads per rank exceed %d cores per domain",
+			threadsPerRank, m.Cfg.CoresPerDomain)
+	}
+	p := Placement{Ranks: ranks, ThreadsPerRank: threadsPerRank}
+	p.cores = make([][]CoreID, ranks)
+	for r := 0; r < ranks; r++ {
+		base := CoreID(r * m.Cfg.CoresPerDomain)
+		p.cores[r] = make([]CoreID, threadsPerRank)
+		for t := 0; t < threadsPerRank; t++ {
+			p.cores[r][t] = base + CoreID(t)
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,41 @@
+package measure
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/simmpi"
+	"repro/internal/simomp"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+	"repro/internal/work"
+)
+
+// runJobCfg runs a one-thread-per-rank job with an explicit measurement
+// config and returns the trace.
+func runJobCfg(t *testing.T, ranks int, cfg Config, app func(r *Rank)) *trace.Trace {
+	t.Helper()
+	k := vtime.NewKernel()
+	m := machine.New(k, machine.Jureca(1))
+	place, err := machine.PlaceBlock(m, ranks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := simmpi.NewWorld(k, m, place, simmpi.DefaultConfig(), simomp.DefaultCosts(), nil)
+	meas := New(cfg)
+	w.Launch(func(p *simmpi.Proc) {
+		r := NewRank(meas, p)
+		r.Begin()
+		app(r)
+		r.End()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return meas.Trace
+}
+
+// workCostBig is a heavily counted quantum for clock-skew tests.
+func workCostBig() work.Cost {
+	return work.Cost{Instr: 5e7, Flops: 5e7, BB: 1e6, Stmt: 4e6, Calls: 1e4, Bytes: 1e6}
+}

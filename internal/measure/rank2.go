@@ -1,0 +1,81 @@
+package measure
+
+import (
+	"repro/internal/simmpi"
+	"repro/internal/trace"
+)
+
+// Measured wrappers for the extended collective set and Sendrecv.
+
+// Reduce is the measured MPI_Reduce on the world communicator.
+func (r *Rank) Reduce(root int, data []float64, op simmpi.Op) []float64 {
+	comm := r.P.W.CommWorld()
+	var out []float64
+	r.collective(comm, string(simmpi.CollReduce), int64(8*len(data)), func(pb uint64) uint64 {
+		var maxPB uint64
+		out, maxPB = comm.Reduce(r.P, root, data, op, pb)
+		return maxPB
+	})
+	return out
+}
+
+// Gather is the measured MPI_Gather on the world communicator.
+func (r *Rank) Gather(root int, data []float64) [][]float64 {
+	comm := r.P.W.CommWorld()
+	var out [][]float64
+	r.collective(comm, string(simmpi.CollGather), int64(8*len(data)), func(pb uint64) uint64 {
+		var maxPB uint64
+		out, maxPB = comm.Gather(r.P, root, data, pb)
+		return maxPB
+	})
+	return out
+}
+
+// Scatter is the measured MPI_Scatter on the world communicator.
+func (r *Rank) Scatter(root int, data [][]float64) []float64 {
+	comm := r.P.W.CommWorld()
+	var bytes int64
+	for _, d := range data {
+		bytes += int64(8 * len(d))
+	}
+	var out []float64
+	r.collective(comm, string(simmpi.CollScatter), bytes, func(pb uint64) uint64 {
+		var maxPB uint64
+		out, maxPB = comm.Scatter(r.P, root, data, pb)
+		return maxPB
+	})
+	return out
+}
+
+// Scan is the measured MPI_Scan on the world communicator.
+func (r *Rank) Scan(data []float64, op simmpi.Op) []float64 {
+	comm := r.P.W.CommWorld()
+	var out []float64
+	r.collective(comm, string(simmpi.CollScan), int64(8*len(data)), func(pb uint64) uint64 {
+		var maxPB uint64
+		out, maxPB = comm.Scan(r.P, data, op, pb)
+		return maxPB
+	})
+	return out
+}
+
+// Sendrecv is the measured paired exchange: a send event for the outgoing
+// message and a receive event for the incoming one, inside one region.
+func (r *Rank) Sendrecv(dst, sendTag int, data []float64, bytes int, src, recvTag int) *simmpi.Message {
+	if r.m == nil {
+		msg, _ := r.P.Sendrecv(dst, sendTag, data, bytes, src, recvTag, 0)
+		return msg
+	}
+	rec := r.rec
+	rec.flush(false)
+	rec.enter("MPI_Sendrecv", trace.RoleMPIP2P)
+	rec.event(trace.EvSend, 0, int32(dst), int32(sendTag), int64(bytes))
+	pb := rec.clock.SendPB()
+	t0 := rec.loc.Now()
+	msg, _ := r.P.Sendrecv(dst, sendTag, data, bytes, src, recvTag, pb)
+	r.spin(rec, t0)
+	rec.clock.RecvPB(msg.Piggyback)
+	rec.event(trace.EvRecv, 0, int32(msg.Src), int32(msg.Tag), int64(msg.Bytes))
+	rec.exit()
+	return msg
+}

@@ -1,0 +1,258 @@
+// Package lulesh reproduces the performance structure of the LULESH
+// shock-hydrodynamics proxy app (LLNL [30]).  The cubic domain is
+// decomposed over a cube number of MPI ranks; each time step runs the
+// paper's three phases (§IV-D):
+//
+//	TimeIncrement               — global dt via MPI_Allreduce (min),
+//	LagrangeNodal               — CalcForceForNodes: face-neighbour halo
+//	                              exchange plus balanced, memory-bound
+//	                              OpenMP loops over nodes,
+//	LagrangeElements            — element updates ending in
+//	                              ApplyMaterialPropertiesForElems: many
+//	                              small OpenMP loops doing little work
+//	                              each, carrying the artificial imbalance.
+//
+// The arithmetic is real (nodal velocities and element energies are
+// integrated and checked by tests); the cost annotations are scaled so
+// the machine model sees the paper's 50^3-elements-per-rank problem.
+package lulesh
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/measure"
+	"repro/internal/simmpi"
+	"repro/internal/work"
+)
+
+// Config selects the problem shape.
+type Config struct {
+	// Side is the scaled-down per-rank cube side in elements.
+	Side int
+	// RealSide is the per-rank side the cost model represents (paper: 50).
+	RealSide int
+	// Steps is the number of time steps.
+	Steps int
+	// Imbalance enables the artificial load imbalance in
+	// ApplyMaterialPropertiesForElems (LULESH-1 on, LULESH-2 off).
+	Imbalance bool
+}
+
+// Default returns the scaled-down configuration used by the experiments.
+func Default() Config {
+	return Config{Side: 12, RealSide: 50, Steps: 8, Imbalance: true}
+}
+
+// Result reports numerical outcomes for verification.
+type Result struct {
+	Steps     int
+	FinalDt   float64
+	EnergySum float64 // rank-local element energy sum
+	// FoM is LULESH's figure of merit: zone-cycles per second of the
+	// represented (real-size) problem (paper §IV-B).
+	FoM float64
+}
+
+// Per-iteration costs.  The stress integration and nodal update loops
+// stream large arrays (bandwidth-bound: instrumentation hides in their
+// stalls); the hourglass control, kinematics and EOS kernels are
+// arithmetic-heavy (instruction-bound: the counting plugins cost them in
+// full, which is where LULESH's ~23% lt_bb/lt_stmt overhead lives).
+var (
+	costStress   = work.Cost{BB: 12, Stmt: 42, Instr: 130, Bytes: 90, Flops: 60}
+	costForce    = work.Cost{BB: 40, Stmt: 140, Instr: 700, Bytes: 60, Flops: 300}
+	costAccel    = work.Cost{BB: 12, Stmt: 42, Instr: 40, Bytes: 96, Flops: 12}
+	costPos      = work.Cost{BB: 12, Stmt: 40, Instr: 38, Bytes: 96, Flops: 12}
+	costKinem    = work.Cost{BB: 30, Stmt: 105, Instr: 480, Bytes: 60, Flops: 200}
+	costQ        = work.Cost{BB: 5, Stmt: 18, Instr: 60, Bytes: 140, Flops: 45}
+	costMaterial = work.Cost{BB: 12, Stmt: 42, Instr: 230, Bytes: 30, Flops: 80, Calls: 0.05}
+	costTimeCons = work.Cost{BB: 3, Stmt: 9, Instr: 30, Bytes: 64, Flops: 18}
+)
+
+// rankCoords returns the (i,j,k) position of a rank in the cube of side c.
+func rankCoords(rank, c int) (int, int, int) {
+	return rank % c, (rank / c) % c, rank / (c * c)
+}
+
+// CubeSide returns the integer cube root of ranks, or an error if ranks
+// is not a cube (LULESH requires a cube number of ranks, §IV-D).
+func CubeSide(ranks int) (int, error) {
+	c := int(math.Round(math.Cbrt(float64(ranks))))
+	if c*c*c != ranks {
+		return 0, fmt.Errorf("lulesh: %d ranks is not a cube", ranks)
+	}
+	return c, nil
+}
+
+// Run executes LULESH on the calling rank.
+func Run(r *measure.Rank, cfg Config) Result {
+	ranks := r.Size()
+	c, err := CubeSide(ranks)
+	if err != nil {
+		panic(err)
+	}
+	me := r.Rank()
+	ci, cj, ck := rankCoords(me, c)
+
+	nElem := cfg.Side * cfg.Side * cfg.Side
+	nNode := (cfg.Side + 1) * (cfg.Side + 1) * (cfg.Side + 1)
+	realElem := cfg.RealSide * cfg.RealSide * cfg.RealSide
+	scale := float64(realElem) / float64(nElem)
+	faceBytes := cfg.RealSide * cfg.RealSide * 8 * 3 // 3 fields per face node
+
+	// Node-centred and element-centred fields (real arithmetic).
+	force := make([]float64, nNode)
+	vel := make([]float64, nNode)
+	pos := make([]float64, nNode)
+	energy := make([]float64, nElem)
+	press := make([]float64, nElem)
+	for i := range energy {
+		energy[i] = 1.0
+	}
+
+	// Working set of the real problem: LULESH keeps ~40 element- and
+	// node-centred fields live, far beyond L3 — its streaming loops are
+	// DRAM-bound, so a NUMA domain packed with four ranks gives each
+	// thread only 3/4 of the bandwidth a thread on a three-rank domain
+	// gets.  That uneven sharing is the late-sender story of LULESH-2.
+	release := r.SpreadWorkingSet(float64(realElem) * 40 * 8)
+	defer release()
+
+	// The artificial imbalance: some ranks re-run parts of the material
+	// update (the real mini-app's -b option inflates work per region);
+	// the pattern is deterministic in the rank index.
+	matFactor := 1.0
+	if cfg.Imbalance {
+		matFactor = 1.0 + 0.8*float64((ci+cj+ck)%3)/2.0
+	}
+
+	dt := 1e-3
+	res := Result{}
+	tStart := r.Now()
+	for step := 0; step < cfg.Steps; step++ {
+		// --- Phase 1: global time step. ---
+		r.Region("TimeIncrement", func() {
+			r.Work(work.PerIter(costTimeCons, float64(nElem/8)*scale))
+			local := dt * (1 + 0.01*math.Sin(float64(me+step)))
+			out := r.Allreduce([]float64{local}, simmpi.OpMin)
+			dt = out[0]
+		})
+
+		// --- Phase 2: nodal quantities. ---
+		r.Enter("LagrangeNodal")
+		r.Enter("CalcForceForNodes")
+		r.ParallelFor("IntegrateStressForElems", nElem, func(lo, hi int, th *measure.Thread) {
+			for i := lo; i < hi; i++ {
+				press[i] = 0.3 * energy[i]
+			}
+			th.Work(work.PerIter(costStress, float64(hi-lo)*scale))
+		})
+		r.ParallelFor("CalcHourglassControlForElems", nNode, func(lo, hi int, th *measure.Thread) {
+			for i := lo; i < hi; i++ {
+				force[i] = 0.5*force[i] + press[i%nElem]
+			}
+			th.Work(work.PerIter(costForce, float64(hi-lo)*scale))
+		})
+		exchangeFaces(r, me, ci, cj, ck, c, force, faceBytes, step)
+		r.Exit() // CalcForceForNodes
+		r.ParallelFor("CalcAccelAndVelForNodes", nNode, func(lo, hi int, th *measure.Thread) {
+			for i := lo; i < hi; i++ {
+				vel[i] += dt * force[i]
+			}
+			th.Work(work.PerIter(costAccel, float64(hi-lo)*scale))
+		})
+		r.ParallelFor("CalcPositionForNodes", nNode, func(lo, hi int, th *measure.Thread) {
+			for i := lo; i < hi; i++ {
+				pos[i] += dt * vel[i]
+			}
+			th.Work(work.PerIter(costPos, float64(hi-lo)*scale))
+		})
+		r.Exit() // LagrangeNodal
+
+		// --- Phase 3: element quantities. ---
+		r.Enter("LagrangeElements")
+		r.ParallelFor("CalcKinematicsForElems", nElem, func(lo, hi int, th *measure.Thread) {
+			for i := lo; i < hi; i++ {
+				energy[i] += dt * press[i] * 0.1
+			}
+			th.Work(work.PerIter(costKinem, float64(hi-lo)*scale))
+		})
+		r.ParallelFor("CalcQForElems", nElem, func(lo, hi int, th *measure.Thread) {
+			for i := lo; i < hi; i++ {
+				energy[i] *= 1 - 1e-4
+			}
+			th.Work(work.PerIter(costQ, float64(hi-lo)*scale))
+		})
+		// Material update: many small loops, one per material region,
+		// each doing little work (the OpenMP-overhead story of §V-C3).
+		r.Enter("ApplyMaterialPropertiesForElems")
+		const matRegions = 12
+		for reg := 0; reg < matRegions; reg++ {
+			regElems := nElem / matRegions
+			r.ParallelFor(fmt.Sprintf("EvalEOSForElems_r%d", reg), regElems, func(lo, hi int, th *measure.Thread) {
+				base := reg * regElems
+				for i := base + lo; i < base+hi && i < nElem; i++ {
+					energy[i] += 1e-3 * press[i]
+				}
+				th.Work(work.PerIter(costMaterial, float64(hi-lo)*scale*matFactor))
+			})
+		}
+		r.Exit() // ApplyMaterialPropertiesForElems
+		r.Exit() // LagrangeElements
+	}
+	res.Steps = cfg.Steps
+	res.FinalDt = dt
+	for _, e := range energy {
+		res.EnergySum += e
+	}
+	if wall := r.Now() - tStart; wall > 0 {
+		res.FoM = float64(realElem) * float64(cfg.Steps) / wall
+	}
+	return res
+}
+
+// exchangeFaces posts nonblocking halo exchanges with the six face
+// neighbours and completes them in one MPI_Waitall — the call path where
+// lt_hwctr sees spin-wait effort (§V-C3).
+func exchangeFaces(r *measure.Rank, me, ci, cj, ck, c int, force []float64, faceBytes, step int) {
+	type nb struct {
+		rank int
+		tag  int
+	}
+	var nbs []nb
+	dirs := [6][3]int{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}}
+	for d, dir := range dirs {
+		ni, nj, nk := ci+dir[0], cj+dir[1], ck+dir[2]
+		if ni < 0 || ni >= c || nj < 0 || nj >= c || nk < 0 || nk >= c {
+			continue
+		}
+		nbs = append(nbs, nb{rank: ni + c*nj + c*c*nk, tag: d})
+	}
+	r.Region("CommSBN", func() {
+		var reqs []*simmpi.Request
+		for _, n := range nbs {
+			// Receive uses the opposite direction's tag (d^1 flips the
+			// sign bit of the direction pair).
+			reqs = append(reqs, r.Irecv(n.rank, n.tag^1))
+		}
+		for _, n := range nbs {
+			r.Isend(n.rank, n.tag, []float64{force[0]}, faceBytes)
+		}
+		r.Waitall(reqs)
+		for i, q := range reqs {
+			_ = i
+			force[0] += 1e-9 * q.Msg().Data[0] // fold halo into local field
+		}
+	})
+}
+
+// Describe summarises the configuration for reports.
+func (c Config) Describe() string {
+	imb := "off"
+	if c.Imbalance {
+		imb = "on"
+	}
+	return fmt.Sprintf("LULESH %d^3/rank (costs as %d^3), %d steps, imbalance %s",
+		c.Side, c.RealSide, c.Steps, imb)
+}

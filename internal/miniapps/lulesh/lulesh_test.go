@@ -1,0 +1,131 @@
+package lulesh
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/measure"
+	"repro/internal/simmpi"
+	"repro/internal/simomp"
+	"repro/internal/vtime"
+)
+
+func run(t *testing.T, ranks, threads int, mode core.Mode, cfg Config) ([]Result, float64) {
+	t.Helper()
+	k := vtime.NewKernel()
+	nodes := (ranks*threads + 127) / 128
+	m := machine.New(k, machine.Jureca(nodes))
+	place, err := machine.PlaceBlock(m, ranks, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := simmpi.NewWorld(k, m, place, simmpi.DefaultConfig(), simomp.DefaultCosts(), nil)
+	var meas *measure.Measurement
+	if mode != "" {
+		meas = measure.New(measure.DefaultConfig(mode))
+	}
+	results := make([]Result, ranks)
+	w.Launch(func(p *simmpi.Proc) {
+		r := measure.NewRank(meas, p)
+		r.Begin()
+		results[p.Rank] = Run(r, cfg)
+		r.End()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return results, k.Now()
+}
+
+func smallCfg() Config {
+	c := Default()
+	c.Side = 6
+	c.Steps = 4
+	return c
+}
+
+func TestCubeSide(t *testing.T) {
+	for _, c := range []struct{ ranks, side int }{{1, 1}, {8, 2}, {27, 3}, {64, 4}} {
+		got, err := CubeSide(c.ranks)
+		if err != nil || got != c.side {
+			t.Fatalf("CubeSide(%d) = %d, %v", c.ranks, got, err)
+		}
+	}
+	if _, err := CubeSide(12); err == nil {
+		t.Fatal("expected error for non-cube rank count")
+	}
+}
+
+func TestRunCompletesAndIntegrates(t *testing.T) {
+	results, wall := run(t, 8, 2, "", smallCfg())
+	for r, res := range results {
+		if res.Steps != 4 {
+			t.Fatalf("rank %d ran %d steps", r, res.Steps)
+		}
+		if res.FinalDt <= 0 || math.IsNaN(res.FinalDt) {
+			t.Fatalf("rank %d: bad dt %g", r, res.FinalDt)
+		}
+		if res.EnergySum <= 0 || math.IsNaN(res.EnergySum) {
+			t.Fatalf("rank %d: bad energy %g", r, res.EnergySum)
+		}
+		// dt comes from a global min-allreduce, so all ranks agree.
+		if res.FinalDt != results[0].FinalDt {
+			t.Fatalf("ranks disagree on dt: %g vs %g", res.FinalDt, results[0].FinalDt)
+		}
+	}
+	if wall <= 0 {
+		t.Fatal("no simulated time passed")
+	}
+}
+
+func TestImbalanceSlowsJob(t *testing.T) {
+	bal := smallCfg()
+	bal.Imbalance = false
+	_, tBal := run(t, 8, 1, "", bal)
+	_, tImb := run(t, 8, 1, "", smallCfg())
+	if tImb <= tBal {
+		t.Fatalf("imbalanced run (%g) not slower than balanced (%g)", tImb, tBal)
+	}
+}
+
+func TestSingleRankNoNeighbours(t *testing.T) {
+	results, _ := run(t, 1, 2, "", smallCfg())
+	if results[0].Steps != 4 {
+		t.Fatal("single-rank run failed")
+	}
+}
+
+func TestInstrumentedMatchesReferenceNumerics(t *testing.T) {
+	ref, _ := run(t, 8, 1, "", smallCfg())
+	ins, _ := run(t, 8, 1, core.ModeBB, smallCfg())
+	for r := range ref {
+		if ref[r].FinalDt != ins[r].FinalDt || ref[r].EnergySum != ins[r].EnergySum {
+			t.Fatalf("rank %d: instrumentation changed numerics", r)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	_, a := run(t, 8, 2, "", smallCfg())
+	_, b := run(t, 8, 2, "", smallCfg())
+	if a != b {
+		t.Fatalf("wall time differs: %v vs %v", a, b)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	if Default().Describe() == "" {
+		t.Fatal("empty description")
+	}
+}
+
+func TestFigureOfMerit(t *testing.T) {
+	results, _ := run(t, 8, 1, "", smallCfg())
+	for r, res := range results {
+		if res.FoM <= 0 {
+			t.Fatalf("rank %d: FoM = %g, want positive zone-cycles/s", r, res.FoM)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package minife
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/measure"
+	"repro/internal/noise"
+	"repro/internal/simmpi"
+	"repro/internal/simomp"
+	"repro/internal/vtime"
+)
+
+// run executes MiniFE on ranks x threads, one-per-domain placement like
+// the paper's MiniFE configurations.  Returns per-rank results, the trace
+// (nil when mode == "") and the wall time.
+func run(t *testing.T, ranks, threads int, mode core.Mode, cfg Config) ([]Result, float64) {
+	t.Helper()
+	k := vtime.NewKernel()
+	m := machine.New(k, machine.Jureca(1))
+	place, err := machine.PlaceOnePerDomain(m, ranks, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := simmpi.NewWorld(k, m, place, simmpi.DefaultConfig(), simomp.DefaultCosts(), noise.NewModel(1, noise.Params{}))
+	var meas *measure.Measurement
+	if mode != "" {
+		meas = measure.New(measure.DefaultConfig(mode))
+	}
+	results := make([]Result, ranks)
+	w.Launch(func(p *simmpi.Proc) {
+		r := measure.NewRank(meas, p)
+		r.Begin()
+		results[p.Rank] = Run(r, cfg)
+		r.End()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return results, k.Now()
+}
+
+func smallCfg() Config {
+	c := Default()
+	c.Nx = 12
+	c.CGIters = 15
+	return c
+}
+
+func TestCGConverges(t *testing.T) {
+	results, _ := run(t, 4, 1, "", smallCfg())
+	for r, res := range results {
+		if res.Iters == 0 {
+			t.Fatalf("rank %d: no CG iterations ran", r)
+		}
+		if res.Residual >= 1 {
+			t.Fatalf("rank %d: residual %g did not decrease", r, res.Residual)
+		}
+		if res.Residual != results[0].Residual {
+			t.Fatalf("ranks disagree on residual: %g vs %g", res.Residual, results[0].Residual)
+		}
+	}
+}
+
+func TestImbalanceSkewsShares(t *testing.T) {
+	cfg := smallCfg()
+	total := cfg.Nx * cfg.Nx * cfg.Nx
+	heavy := share(cfg, 0, 8, total)
+	light := share(cfg, 7, 8, total)
+	if heavy < 2*light {
+		t.Fatalf("imbalance 50%%: heavy %d, light %d — want ~3x", heavy, light)
+	}
+	balanced := cfg
+	balanced.Imbalance = 0
+	h := share(balanced, 0, 8, total)
+	l := share(balanced, 7, 8, total)
+	if h-l > 1 || l-h > 1 {
+		t.Fatalf("balanced shares differ: %d vs %d", h, l)
+	}
+}
+
+func TestImbalanceSlowsJob(t *testing.T) {
+	balanced := smallCfg()
+	balanced.Imbalance = 0
+	_, tBal := run(t, 4, 1, "", balanced)
+	_, tImb := run(t, 4, 1, "", smallCfg())
+	if tImb <= tBal {
+		t.Fatalf("imbalanced run (%g) not slower than balanced (%g)", tImb, tBal)
+	}
+}
+
+func TestRunsHybrid(t *testing.T) {
+	results, _ := run(t, 4, 4, "", smallCfg())
+	if results[0].Residual >= 1 {
+		t.Fatalf("hybrid run did not converge: %g", results[0].Residual)
+	}
+}
+
+func TestInstrumentedMatchesReferenceNumerics(t *testing.T) {
+	ref, _ := run(t, 4, 2, "", smallCfg())
+	ins, _ := run(t, 4, 2, core.ModeStmt, smallCfg())
+	for r := range ref {
+		// Allreduce combines contributions in arrival order, so a timing
+		// change can flip the floating-point summation order — exactly
+		// like real MPI.  Allow ULP-level differences, nothing more.
+		rel := 1e-12 * ref[r].Residual
+		if diff := ref[r].Residual - ins[r].Residual; diff > rel || diff < -rel {
+			t.Fatalf("rank %d: instrumentation changed the numerics: %+v vs %+v", r, ref[r], ins[r])
+		}
+		if ref[r].Iters != ins[r].Iters {
+			t.Fatalf("rank %d: iteration count changed", r)
+		}
+	}
+}
+
+func TestPhaseTimesPopulated(t *testing.T) {
+	results, wall := run(t, 2, 1, "", smallCfg())
+	for r, res := range results {
+		if res.InitTime <= 0 || res.SolveTime <= 0 {
+			t.Fatalf("rank %d: phase times missing: %+v", r, res)
+		}
+		if res.InitTime+res.SolveTime > wall+1e-9 {
+			t.Fatalf("rank %d: phases exceed wall time", r)
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	_, a := run(t, 4, 2, "", smallCfg())
+	_, b := run(t, 4, 2, "", smallCfg())
+	if a != b {
+		t.Fatalf("wall time not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	if s := Default().Describe(); s == "" {
+		t.Fatal("empty description")
+	}
+}
+
+func TestFigureOfMerit(t *testing.T) {
+	results, _ := run(t, 4, 2, "", smallCfg())
+	for r, res := range results {
+		if res.FoM <= 0 {
+			t.Fatalf("rank %d: FoM = %g, want positive MFLOP/s", r, res.FoM)
+		}
+	}
+	// Heavy ranks solve more rows in the same solve window, so their
+	// figure of merit is higher.
+	if results[0].FoM <= results[3].FoM {
+		t.Fatalf("heavy rank FoM %g not above light rank %g", results[0].FoM, results[3].FoM)
+	}
+}

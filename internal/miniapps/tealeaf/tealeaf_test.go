@@ -1,0 +1,137 @@
+package tealeaf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/measure"
+	"repro/internal/simmpi"
+	"repro/internal/simomp"
+	"repro/internal/vtime"
+)
+
+func run(t *testing.T, ranks, threads int, mode core.Mode, cfg Config) ([]Result, float64) {
+	t.Helper()
+	k := vtime.NewKernel()
+	nodes := (ranks*threads + 127) / 128
+	m := machine.New(k, machine.Jureca(nodes))
+	place, err := machine.PlaceBlock(m, ranks, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := simmpi.NewWorld(k, m, place, simmpi.DefaultConfig(), simomp.DefaultCosts(), nil)
+	var meas *measure.Measurement
+	if mode != "" {
+		meas = measure.New(measure.DefaultConfig(mode))
+	}
+	results := make([]Result, ranks)
+	w.Launch(func(p *simmpi.Proc) {
+		r := measure.NewRank(meas, p)
+		r.Begin()
+		results[p.Rank] = Run(r, cfg)
+		r.End()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return results, k.Now()
+}
+
+func smallCfg() Config {
+	c := Default()
+	c.N = 32
+	c.Steps = 2
+	c.CGIters = 8
+	return c
+}
+
+func TestSolveRunsAndStaysFinite(t *testing.T) {
+	results, wall := run(t, 4, 2, "", smallCfg())
+	for r, res := range results {
+		if res.Steps != 2 {
+			t.Fatalf("rank %d ran %d steps", r, res.Steps)
+		}
+		if res.CGTotal == 0 {
+			t.Fatalf("rank %d: no CG iterations", r)
+		}
+		if math.IsNaN(res.HeatSum) || res.HeatSum <= 0 {
+			t.Fatalf("rank %d: bad heat sum %g", r, res.HeatSum)
+		}
+		// The global sum comes from an allreduce: all ranks agree.
+		if res.HeatSum != results[0].HeatSum {
+			t.Fatalf("ranks disagree on heat: %g vs %g", res.HeatSum, results[0].HeatSum)
+		}
+	}
+	if wall <= 0 {
+		t.Fatal("no simulated time passed")
+	}
+}
+
+func TestInnerResidualDecreases(t *testing.T) {
+	results, _ := run(t, 2, 1, "", smallCfg())
+	if results[0].Residual >= 1 {
+		t.Fatalf("inner CG residual did not shrink: %g", results[0].Residual)
+	}
+}
+
+func TestSingleRank(t *testing.T) {
+	results, _ := run(t, 1, 4, "", smallCfg())
+	if results[0].CGTotal == 0 {
+		t.Fatal("single-rank solve did nothing")
+	}
+}
+
+func TestManyRanksOneRowEach(t *testing.T) {
+	cfg := smallCfg()
+	cfg.N = 32 // 32 ranks, one row each
+	results, _ := run(t, 32, 1, "", cfg)
+	if results[0].CGTotal == 0 {
+		t.Fatal("stripe-per-rank solve did nothing")
+	}
+	for r := range results {
+		if results[r].HeatSum != results[0].HeatSum {
+			t.Fatal("ranks disagree on heat")
+		}
+	}
+}
+
+func TestInstrumentedMatchesReferenceNumerics(t *testing.T) {
+	ref, _ := run(t, 4, 2, "", smallCfg())
+	ins, _ := run(t, 4, 2, core.ModeHwctr, smallCfg())
+	for r := range ref {
+		if ref[r].HeatSum != ins[r].HeatSum || ref[r].CGTotal != ins[r].CGTotal {
+			t.Fatalf("rank %d: instrumentation changed numerics", r)
+		}
+	}
+}
+
+func TestSolutionMatchesSerialAcrossDecompositions(t *testing.T) {
+	// The same grid split over 1, 2 and 4 ranks must give the same
+	// global heat sum (the halo exchange is exercised for real).
+	var sums []float64
+	for _, ranks := range []int{1, 2, 4} {
+		res, _ := run(t, ranks, 1, "", smallCfg())
+		sums = append(sums, res[0].HeatSum)
+	}
+	for i := 1; i < len(sums); i++ {
+		if math.Abs(sums[i]-sums[0]) > 1e-6*math.Abs(sums[0]) {
+			t.Fatalf("decomposition changed the answer: %v", sums)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	_, a := run(t, 4, 2, "", smallCfg())
+	_, b := run(t, 4, 2, "", smallCfg())
+	if a != b {
+		t.Fatalf("wall time differs: %v vs %v", a, b)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	if Default().Describe() == "" {
+		t.Fatal("empty description")
+	}
+}

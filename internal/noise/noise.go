@@ -1,0 +1,211 @@
+// Package noise provides seeded, reproducible models of the disturbances
+// that make physical performance measurements unreliable on real HPC
+// systems: operating-system detours stealing CPU time, network latency and
+// bandwidth jitter, unsynchronised node clocks, and hardware-counter
+// read-out variability.
+//
+// Every simulated location draws from its own random stream, seeded by
+// (experiment seed, location id).  This keeps the noise experienced by one
+// location independent of how events interleave on other locations, so a
+// configuration change perturbs only what it touches.  Logical clocks never
+// consult this package; that is precisely why their measurements repeat
+// bit-for-bit (paper §II).
+package noise
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Params configures the strength of each noise source.  The zero value is
+// a noise-free system.
+type Params struct {
+	// OSDetourProb is the probability that a compute quantum is hit by an
+	// OS detour (daemon wakeup, interrupt, page fault burst).
+	OSDetourProb float64
+	// OSDetourMean is the mean detour duration in seconds (exponential).
+	OSDetourMean float64
+	// PeriodicEvery injects a fixed detour every so many seconds of
+	// virtual time — the strictly periodic daemon noise of Petrini et
+	// al. [8] and Ferreira et al. [23].  Zero disables it.
+	PeriodicEvery float64
+	// PeriodicDur is the duration of each periodic detour.
+	PeriodicDur float64
+	// CPUJitterRel is the relative standard deviation of multiplicative
+	// duration noise on compute quanta (frequency wobble, SMT effects).
+	CPUJitterRel float64
+	// NetLatJitterRel is the relative standard deviation of message
+	// latency noise (lognormal-ish, always >= 0).
+	NetLatJitterRel float64
+	// NetBWJitterRel is the relative standard deviation applied to
+	// per-transfer effective bandwidth demand.
+	NetBWJitterRel float64
+	// HWCtrRel is the relative standard deviation of hardware-counter
+	// read-out noise (cf. Ritter et al. [24]).
+	HWCtrRel float64
+	// ClockOffsetMax is the maximum initial per-node clock offset in
+	// seconds (uniform in [-max, +max]).
+	ClockOffsetMax float64
+	// ClockDriftMax is the maximum per-node clock drift in s/s.
+	ClockDriftMax float64
+}
+
+// Scale returns a copy of p with all amplitudes multiplied by f.
+func (p Params) Scale(f float64) Params {
+	return Params{
+		OSDetourProb:    math.Min(1, p.OSDetourProb*f),
+		OSDetourMean:    p.OSDetourMean * f,
+		PeriodicEvery:   p.PeriodicEvery, // cadence is a system property
+		PeriodicDur:     p.PeriodicDur * f,
+		CPUJitterRel:    p.CPUJitterRel * f,
+		NetLatJitterRel: p.NetLatJitterRel * f,
+		NetBWJitterRel:  p.NetBWJitterRel * f,
+		HWCtrRel:        p.HWCtrRel * f,
+		ClockOffsetMax:  p.ClockOffsetMax * f,
+		ClockDriftMax:   p.ClockDriftMax * f,
+	}
+}
+
+// Cluster returns noise parameters representative of a busy production
+// cluster: occasional OS detours, a few percent CPU jitter, noticeable
+// network jitter and slightly unsynchronised node clocks.
+func Cluster() Params {
+	return Params{
+		OSDetourProb:    0.002,
+		OSDetourMean:    200e-6,
+		CPUJitterRel:    0.02,
+		NetLatJitterRel: 0.25,
+		NetBWJitterRel:  0.10,
+		HWCtrRel:        0.004,
+		ClockOffsetMax:  5e-6,
+		ClockDriftMax:   2e-8,
+	}
+}
+
+// Model creates per-location noise sources for one measurement run.
+type Model struct {
+	seed   int64
+	params Params
+}
+
+// NewModel builds a noise model for the given run seed.
+func NewModel(seed int64, p Params) *Model {
+	return &Model{seed: seed, params: p}
+}
+
+// Params returns the model's parameters.
+func (m *Model) Params() Params { return m.params }
+
+// Source returns the noise stream for the given location (rank/thread
+// pair flattened to a location id) on the given node.
+func (m *Model) Source(loc, node int) *Source {
+	// splitmix-style seed mixing keeps streams decorrelated.
+	s := uint64(m.seed)*0x9e3779b97f4a7c15 + uint64(loc+1)*0xbf58476d1ce4e5b9 + uint64(node+1)*0x94d049bb133111eb
+	src := &Source{
+		rng:    rand.New(rand.NewSource(int64(s))),
+		params: m.params,
+	}
+	src.clockOffset = src.uniform(-m.params.ClockOffsetMax, m.params.ClockOffsetMax)
+	src.clockDrift = src.uniform(-m.params.ClockDriftMax, m.params.ClockDriftMax)
+	return src
+}
+
+// Source is a per-location stream of noise draws.  It is not safe for
+// concurrent use, which is fine: the vtime kernel runs one actor at a time.
+type Source struct {
+	rng         *rand.Rand
+	params      Params
+	clockOffset float64
+	clockDrift  float64
+	lastTick    float64 // virtual time of the last periodic-noise check
+}
+
+func (s *Source) uniform(lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + s.rng.Float64()*(hi-lo)
+}
+
+// ComputeDetour returns the OS-noise detour, in seconds, to add to a
+// compute quantum starting at virtual time now with the given base
+// duration: random detours, strictly periodic daemon detours accumulated
+// since the previous quantum, and multiplicative CPU jitter.  The result
+// is always >= a small negative bound (-3 sigma of the multiplicative
+// term); the detour parts are non-negative.
+func (s *Source) ComputeDetour(now, base float64) float64 {
+	var d float64
+	if p := s.params.OSDetourProb; p > 0 && s.rng.Float64() < p {
+		d += s.rng.ExpFloat64() * s.params.OSDetourMean
+	}
+	if every := s.params.PeriodicEvery; every > 0 && now > s.lastTick {
+		ticks := int((now)/every) - int(s.lastTick/every)
+		if ticks > 0 {
+			d += float64(ticks) * s.params.PeriodicDur
+		}
+		s.lastTick = now
+	}
+	if rel := s.params.CPUJitterRel; rel > 0 {
+		j := s.rng.NormFloat64() * rel
+		if j < -3*rel {
+			j = -3 * rel
+		}
+		d += base * j
+	}
+	if d < -0.9*base {
+		d = -0.9 * base
+	}
+	return d
+}
+
+// NetLatency perturbs a base network latency.  The returned value is
+// always at least 20% of the base.
+func (s *Source) NetLatency(base float64) float64 {
+	rel := s.params.NetLatJitterRel
+	if rel == 0 {
+		return base
+	}
+	l := base * math.Exp(s.rng.NormFloat64()*rel)
+	if l < 0.2*base {
+		l = 0.2 * base
+	}
+	return l
+}
+
+// NetBytes perturbs the effective transfer size, modelling bandwidth
+// variability.  The result is at least half the true size.
+func (s *Source) NetBytes(bytes float64) float64 {
+	rel := s.params.NetBWJitterRel
+	if rel == 0 {
+		return bytes
+	}
+	b := bytes * (1 + s.rng.NormFloat64()*rel)
+	if b < 0.5*bytes {
+		b = 0.5 * bytes
+	}
+	return b
+}
+
+// HWCtr perturbs a hardware-counter delta read-out.  The result is
+// non-negative.
+func (s *Source) HWCtr(delta float64) float64 {
+	rel := s.params.HWCtrRel
+	if rel == 0 || delta == 0 {
+		return delta
+	}
+	d := delta * (1 + s.rng.NormFloat64()*rel)
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// PhysicalTime maps true virtual time to this location's physical clock
+// reading, applying the per-node offset and drift that real time-stamp
+// counters exhibit before clock correction.
+func (s *Source) PhysicalTime(t float64) float64 {
+	return t*(1+s.clockDrift) + s.clockOffset
+}
+
+// ClockOffset returns the location's fixed clock offset (for tests).
+func (s *Source) ClockOffset() float64 { return s.clockOffset }

@@ -1,0 +1,171 @@
+package noise
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroParamsAreNoiseFree(t *testing.T) {
+	m := NewModel(42, Params{})
+	s := m.Source(0, 0)
+	for i := 0; i < 100; i++ {
+		if d := s.ComputeDetour(0, 1e-3); d != 0 {
+			t.Fatalf("detour = %g, want 0", d)
+		}
+		if l := s.NetLatency(1e-6); l != 1e-6 {
+			t.Fatalf("latency = %g, want 1e-6", l)
+		}
+		if b := s.NetBytes(1024); b != 1024 {
+			t.Fatalf("bytes = %g, want 1024", b)
+		}
+		if c := s.HWCtr(1e6); c != 1e6 {
+			t.Fatalf("hwctr = %g, want 1e6", c)
+		}
+	}
+	if got := s.PhysicalTime(3.5); got != 3.5 {
+		t.Fatalf("physical time = %g, want 3.5", got)
+	}
+}
+
+func TestSourcesAreReproducible(t *testing.T) {
+	p := Cluster()
+	a := NewModel(7, p).Source(3, 1)
+	b := NewModel(7, p).Source(3, 1)
+	for i := 0; i < 1000; i++ {
+		if a.ComputeDetour(0, 1e-4) != b.ComputeDetour(0, 1e-4) {
+			t.Fatal("same seed, same location: streams diverged")
+		}
+	}
+}
+
+func TestSourcesAreDecorrelatedByLocation(t *testing.T) {
+	p := Cluster()
+	m := NewModel(7, p)
+	a, b := m.Source(0, 0), m.Source(1, 0)
+	same := 0
+	for i := 0; i < 200; i++ {
+		if a.NetLatency(1e-6) == b.NetLatency(1e-6) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("location streams look identical (%d/200 equal draws)", same)
+	}
+}
+
+func TestDetourBounds(t *testing.T) {
+	s := NewModel(1, Cluster()).Source(0, 0)
+	base := 1e-4
+	for i := 0; i < 10000; i++ {
+		d := s.ComputeDetour(0, base)
+		if d < -0.9*base {
+			t.Fatalf("detour %g below -90%% of base", d)
+		}
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			t.Fatalf("detour %g not finite", d)
+		}
+	}
+}
+
+func TestNetLatencyPositive(t *testing.T) {
+	s := NewModel(2, Cluster()).Source(5, 0)
+	for i := 0; i < 10000; i++ {
+		l := s.NetLatency(1.5e-6)
+		if l < 0.2*1.5e-6 {
+			t.Fatalf("latency %g below floor", l)
+		}
+	}
+}
+
+func TestHWCtrNonNegative(t *testing.T) {
+	s := NewModel(3, Params{HWCtrRel: 0.5}).Source(0, 0)
+	for i := 0; i < 10000; i++ {
+		if c := s.HWCtr(100); c < 0 {
+			t.Fatalf("hwctr %g negative", c)
+		}
+	}
+}
+
+func TestClockOffsetWithinBounds(t *testing.T) {
+	p := Params{ClockOffsetMax: 1e-5, ClockDriftMax: 1e-7}
+	m := NewModel(9, p)
+	for loc := 0; loc < 64; loc++ {
+		s := m.Source(loc, loc/16)
+		if o := s.ClockOffset(); math.Abs(o) > 1e-5 {
+			t.Fatalf("offset %g out of bounds", o)
+		}
+		// Drift applies multiplicatively.
+		t0 := s.PhysicalTime(0)
+		t1 := s.PhysicalTime(100)
+		drift := (t1 - t0 - 100) / 100
+		if math.Abs(drift) > 1e-7+1e-15 {
+			t.Fatalf("drift %g out of bounds", drift)
+		}
+	}
+}
+
+func TestPeriodicDetoursAccumulate(t *testing.T) {
+	p := Params{PeriodicEvery: 1e-3, PeriodicDur: 50e-6}
+	s := NewModel(1, p).Source(0, 0)
+	// First quantum at t=0: no ticks crossed yet.
+	if d := s.ComputeDetour(0, 1e-4); d != 0 {
+		t.Fatalf("detour at t=0 = %g, want 0", d)
+	}
+	// Jump to t=5.5ms: five daemon wakeups since the last check.
+	if d := s.ComputeDetour(5.5e-3, 1e-4); d != 5*50e-6 {
+		t.Fatalf("detour = %g, want %g", d, 5*50e-6)
+	}
+	// Immediately after: no new ticks.
+	if d := s.ComputeDetour(5.6e-3, 1e-4); d != 0 {
+		t.Fatalf("detour = %g, want 0 (no tick crossed)", d)
+	}
+	// One more period later: exactly one tick.
+	if d := s.ComputeDetour(6.5e-3, 1e-4); d != 50e-6 {
+		t.Fatalf("detour = %g, want one tick", d)
+	}
+}
+
+func TestPeriodicCadenceSurvivesScaling(t *testing.T) {
+	p := Params{PeriodicEvery: 1e-3, PeriodicDur: 50e-6}.Scale(2)
+	if p.PeriodicEvery != 1e-3 {
+		t.Fatalf("cadence changed under scaling: %g", p.PeriodicEvery)
+	}
+	if p.PeriodicDur != 100e-6 {
+		t.Fatalf("duration not scaled: %g", p.PeriodicDur)
+	}
+}
+
+func TestScaleZeroSilences(t *testing.T) {
+	p := Cluster().Scale(0)
+	s := NewModel(11, p).Source(2, 0)
+	if d := s.ComputeDetour(0, 1e-3); d != 0 {
+		t.Fatalf("scaled-to-zero params still noisy: %g", d)
+	}
+}
+
+func TestScaleCapsProbability(t *testing.T) {
+	p := Params{OSDetourProb: 0.5}.Scale(10)
+	if p.OSDetourProb > 1 {
+		t.Fatalf("probability %g exceeds 1", p.OSDetourProb)
+	}
+}
+
+// Property: mean detour over many draws is small relative to base for
+// cluster noise (sanity of amplitudes), and HWCtr preserves the mean
+// roughly.
+func TestPropertyHWCtrMeanPreserved(t *testing.T) {
+	f := func(seed int64) bool {
+		s := NewModel(seed, Params{HWCtrRel: 0.01}).Source(0, 0)
+		var sum float64
+		const n = 2000
+		for i := 0; i < n; i++ {
+			sum += s.HWCtr(1000)
+		}
+		mean := sum / n
+		return math.Abs(mean-1000) < 5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

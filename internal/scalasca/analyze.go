@@ -1,0 +1,249 @@
+package scalasca
+
+import (
+	"fmt"
+
+	"repro/internal/cube"
+	"repro/internal/trace"
+)
+
+// sendRec is one send event awaiting its matching receive.
+type sendRec struct {
+	loc      int
+	dst, tag int32
+	tsEvent  float64 // timestamp of the Send event
+	tsEnter  float64 // enter of the enclosing MPI region
+	tsExit   float64 // exit of the enclosing MPI region
+	path     cube.PathID
+}
+
+// recvRec is one receive completion.
+type recvRec struct {
+	loc      int
+	src, tag int32
+	tsEvent  float64
+	tsEnter  float64
+	path     cube.PathID
+}
+
+// collPart is one rank's participation in a collective instance.
+type collPart struct {
+	loc       int
+	rank      int
+	tsEnter   float64
+	path      cube.PathID
+	isBarrier bool // MPI_Barrier: waits classify as wait_barrier
+}
+
+// barPart is one thread's participation in an OpenMP barrier instance.
+type barPart struct {
+	loc             int
+	tsEnter, tsExit float64
+	path            cube.PathID
+}
+
+// compInterval records exclusive computation time for delay attribution.
+type compInterval struct {
+	start, end float64
+	path       cube.PathID
+}
+
+// analysis carries the replay state.
+type analysis struct {
+	tr   *trace.Trace
+	prof *cube.Profile
+	m    metricSet
+
+	sends []sendRec
+	recvs []recvRec
+	colls map[[2]int32][]collPart // (comm, seq) -> participants
+	bars  map[[2]int32][]barPart  // (rank, seq) -> threads
+	comp  map[int][]compInterval  // loc -> intervals (time-ordered)
+
+	teamSize map[int]int // rank -> thread count
+}
+
+// Analyze replays a trace and produces the analysis profile.  Severities
+// are in ticks of the trace's clock; normalise with the profile queries.
+func Analyze(tr *trace.Trace) (*cube.Profile, error) {
+	locNames := make([]string, len(tr.Locs))
+	for i, l := range tr.Locs {
+		locNames[i] = fmt.Sprintf("r%dt%d", l.Rank, l.Thread)
+	}
+	prof := cube.New(tr.Clock, locNames)
+	a := &analysis{
+		tr:       tr,
+		prof:     prof,
+		m:        buildMetrics(prof),
+		colls:    make(map[[2]int32][]collPart),
+		bars:     make(map[[2]int32][]barPart),
+		comp:     make(map[int][]compInterval),
+		teamSize: make(map[int]int),
+	}
+	for _, l := range tr.Locs {
+		if l.Thread+1 > a.teamSize[l.Rank] {
+			a.teamSize[l.Rank] = l.Thread + 1
+		}
+	}
+	for li := range tr.Locs {
+		if err := a.scanLocation(li); err != nil {
+			return nil, err
+		}
+	}
+	a.matchP2P()
+	a.collectives()
+	a.ompBarriers()
+	return prof, nil
+}
+
+// frame is one call-stack entry during replay.
+type frame struct {
+	path  cube.PathID
+	role  trace.Role
+	enter float64
+	// bookkeeping for events seen inside this region
+	sendIdx []int // indices into a.sends opened in this frame
+	barSeq  int32 // pending OpenMP barrier instance (-1 none)
+}
+
+// scanLocation walks one location's event stream: reconstructs the call
+// tree, accumulates exclusive time per (metric, path), collects the
+// records for the matching passes, and accounts idle worker threads
+// during the master's sequential phases.
+func (a *analysis) scanLocation(li int) error {
+	l := a.tr.Locs[li]
+	isMaster := l.Thread == 0
+	workers := a.teamSize[l.Rank] - 1
+	var stack []frame
+	var lastT float64
+	haveLast := false
+	inParallel := false
+
+	for _, e := range l.Events {
+		t := float64(e.Time)
+		if !haveLast {
+			lastT = t
+			haveLast = true
+		}
+		dt := t - lastT
+		if dt < 0 {
+			dt = 0
+		}
+		lastT = t
+		if dt > 0 && len(stack) > 0 {
+			a.account(li, isMaster && !inParallel, workers, &stack[len(stack)-1], dt, t)
+		}
+
+		switch e.Kind {
+		case trace.EvEnter:
+			parent := cube.PathID(cube.NoParent)
+			if len(stack) > 0 {
+				parent = stack[len(stack)-1].path
+			}
+			role := a.tr.Regions[e.Region].Role
+			path := a.prof.Path(parent, a.tr.Regions[e.Region].Name)
+			stack = append(stack, frame{path: path, role: role, enter: t, barSeq: -1})
+		case trace.EvExit:
+			if len(stack) == 0 {
+				return fmt.Errorf("scalasca: loc %d: exit without enter", li)
+			}
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, si := range f.sendIdx {
+				a.sends[si].tsExit = t
+			}
+			if f.barSeq >= 0 {
+				key := [2]int32{int32(l.Rank), f.barSeq}
+				a.bars[key] = append(a.bars[key], barPart{
+					loc: li, tsEnter: f.enter, tsExit: t, path: f.path,
+				})
+			}
+		case trace.EvSend:
+			if len(stack) == 0 {
+				return fmt.Errorf("scalasca: loc %d: send outside region", li)
+			}
+			f := &stack[len(stack)-1]
+			a.sends = append(a.sends, sendRec{
+				loc: li, dst: e.A, tag: e.B, tsEvent: t,
+				tsEnter: f.enter, tsExit: t, // exit patched at EvExit
+				path: f.path,
+			})
+			f.sendIdx = append(f.sendIdx, len(a.sends)-1)
+		case trace.EvRecv:
+			if len(stack) == 0 {
+				return fmt.Errorf("scalasca: loc %d: recv outside region", li)
+			}
+			f := stack[len(stack)-1]
+			a.recvs = append(a.recvs, recvRec{
+				loc: li, src: e.A, tag: e.B, tsEvent: t,
+				tsEnter: f.enter, path: f.path,
+			})
+		case trace.EvCollEnd:
+			if len(stack) == 0 {
+				return fmt.Errorf("scalasca: loc %d: collective end outside region", li)
+			}
+			f := stack[len(stack)-1]
+			key := [2]int32{e.A, e.B}
+			a.colls[key] = append(a.colls[key], collPart{
+				loc: li, rank: l.Rank, tsEnter: f.enter, path: f.path,
+				isBarrier: a.prof.Paths[f.path].Name == "MPI_Barrier",
+			})
+		case trace.EvFork:
+			inParallel = true
+		case trace.EvJoin:
+			inParallel = false
+		case trace.EvBarrier:
+			if len(stack) == 0 {
+				return fmt.Errorf("scalasca: loc %d: barrier event outside region", li)
+			}
+			stack[len(stack)-1].barSeq = e.B
+		}
+	}
+	if len(stack) != 0 {
+		return fmt.Errorf("scalasca: loc %d: %d unclosed regions at end of trace", li, len(stack))
+	}
+	return nil
+}
+
+// account attributes dt of exclusive time in frame f to the metric tree,
+// and — when the master runs a sequential phase — charges idle time for
+// the rank's parked workers at the master's current call path (Scalasca's
+// idle-threads model; this is how serial regions surface, §V-C2).
+func (a *analysis) account(li int, sequentialMaster bool, workers int, f *frame, dt, now float64) {
+	p := a.prof
+	m := a.m
+	p.Add(m.time, f.path, li, dt)
+	switch f.role {
+	case trace.RoleUser, trace.RoleOmpLoop:
+		p.Add(m.comp, f.path, li, dt)
+		intervals := a.comp[li]
+		// Merge adjacent intervals on the same path to keep the delay
+		// pass cheap.
+		if n := len(intervals); n > 0 && intervals[n-1].path == f.path && intervals[n-1].end == now-dt {
+			intervals[n-1].end = now
+			a.comp[li] = intervals
+		} else {
+			a.comp[li] = append(intervals, compInterval{start: now - dt, end: now, path: f.path})
+		}
+	case trace.RoleMPIP2P, trace.RoleMPIWait:
+		p.Add(m.mpi, f.path, li, dt)
+		p.Add(m.p2p, f.path, li, dt)
+	case trace.RoleMPIColl:
+		p.Add(m.mpi, f.path, li, dt)
+		p.Add(m.collective, f.path, li, dt)
+	case trace.RoleOmpMgmt, trace.RoleOmpParallel:
+		p.Add(m.omp, f.path, li, dt)
+		p.Add(m.ompMgmt, f.path, li, dt)
+	case trace.RoleOmpBarrier:
+		p.Add(m.omp, f.path, li, dt)
+		p.Add(m.ompSync, f.path, li, dt)
+	case trace.RoleOmpCritical:
+		p.Add(m.omp, f.path, li, dt)
+		p.Add(m.ompSync, f.path, li, dt)
+	}
+	if sequentialMaster && workers > 0 {
+		idle := dt * float64(workers)
+		p.Add(m.idle, f.path, li, idle)
+		p.Add(m.time, f.path, li, idle)
+	}
+}

@@ -1,0 +1,186 @@
+package scalasca
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// CritPath is the result of a critical-path analysis: the chain of
+// activities that determined the program's end-to-end run time.  Time
+// spent waiting never lies on the critical path — whenever a location
+// was blocked on a remote event, the path jumps to the location that
+// caused the wait.  Scalasca offers the same analysis ("critical-path
+// profile"); shortening anything on the path shortens the run, while
+// optimising off-path code is futile.
+type CritPath struct {
+	// Total is the walked length in clock ticks (≈ the run time).
+	Total float64
+	// ByPath maps call-path strings to their exclusive time on the
+	// critical path, in ticks.
+	ByPath map[string]float64
+	// Segments counts the cross-location jumps plus one.
+	Segments int
+}
+
+// Share returns a call path's fraction of the critical path in percent.
+func (c *CritPath) Share(path string) float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return 100 * c.ByPath[path] / c.Total
+}
+
+// TopPaths returns the largest contributors, descending.
+func (c *CritPath) TopPaths(limit int) []struct {
+	Path    string
+	Percent float64
+} {
+	type entry struct {
+		Path    string
+		Percent float64
+	}
+	out := make([]entry, 0, len(c.ByPath))
+	for p, v := range c.ByPath {
+		out = append(out, entry{p, 100 * v / c.Total})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Percent != out[j].Percent {
+			return out[i].Percent > out[j].Percent
+		}
+		return out[i].Path < out[j].Path
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	res := make([]struct {
+		Path    string
+		Percent float64
+	}, len(out))
+	for i, e := range out {
+		res[i] = struct {
+			Path    string
+			Percent float64
+		}{e.Path, e.Percent}
+	}
+	return res
+}
+
+// locIndexState is the per-location forward precomputation the backward
+// walk consumes: for every event interval, the governing call path and
+// the enter time of the current region.
+type locIndexState struct {
+	topPath   []string  // topPath[i]: path during (events[i-1], events[i]]
+	enterTime []float64 // enterTime[i]: enter stamp of the region governing event i
+}
+
+// CriticalPathAnalysis walks the trace backward from its last event,
+// jumping across the synchronisation edges whenever the local location
+// was waiting for the remote side, and attributes the walked intervals
+// to their call paths.
+func CriticalPathAnalysis(tr *trace.Trace) (*CritPath, error) {
+	edges, err := vclock.Edges(tr)
+	if err != nil {
+		return nil, err
+	}
+	// Incoming edges per event; keep only the latest cause per target.
+	cause := make(map[vclock.EventRef]vclock.EventRef)
+	for _, e := range edges {
+		cur, ok := cause[e.To]
+		if !ok || eventTime(tr, e.From) > eventTime(tr, cur) {
+			cause[e.To] = e.From
+		}
+	}
+	states := make([]locIndexState, len(tr.Locs))
+	for li := range tr.Locs {
+		states[li] = indexLocation(tr, li)
+	}
+	// Start at the globally last event.
+	start := vclock.EventRef{Loc: -1}
+	var latest float64
+	for li, l := range tr.Locs {
+		if n := len(l.Events); n > 0 {
+			t := float64(l.Events[n-1].Time)
+			if start.Loc < 0 || t > latest {
+				latest = t
+				start = vclock.EventRef{Loc: li, Index: n - 1}
+			}
+		}
+	}
+	if start.Loc < 0 {
+		return nil, fmt.Errorf("scalasca: empty trace")
+	}
+	cp := &CritPath{ByPath: make(map[string]float64), Segments: 1}
+	cur := start
+	steps := 0
+	limit := tr.NumEvents() + len(edges) + 1
+	for cur.Index > 0 {
+		if steps++; steps > limit {
+			return nil, fmt.Errorf("scalasca: critical-path walk did not terminate")
+		}
+		if from, ok := cause[cur]; ok {
+			// Jump only if the remote cause arrived after this location
+			// entered the blocking call — otherwise no waiting happened
+			// here and the local timeline continues the path.
+			if eventTime(tr, from) > states[cur.Loc].enterTime[cur.Index] {
+				cur = from
+				cp.Segments++
+				continue
+			}
+		}
+		ev := tr.Locs[cur.Loc].Events
+		dt := float64(ev[cur.Index].Time) - float64(ev[cur.Index-1].Time)
+		if dt > 0 {
+			cp.ByPath[states[cur.Loc].topPath[cur.Index]] += dt
+			cp.Total += dt
+		}
+		cur.Index--
+	}
+	return cp, nil
+}
+
+func eventTime(tr *trace.Trace, r vclock.EventRef) float64 {
+	return float64(tr.Locs[r.Loc].Events[r.Index].Time)
+}
+
+// indexLocation precomputes the call path and region-enter time governing
+// each event of one location.
+func indexLocation(tr *trace.Trace, li int) locIndexState {
+	events := tr.Locs[li].Events
+	st := locIndexState{
+		topPath:   make([]string, len(events)),
+		enterTime: make([]float64, len(events)),
+	}
+	type frame struct {
+		name  string
+		enter float64
+	}
+	var stack []frame
+	pathOf := func() string {
+		parts := make([]string, len(stack))
+		for i, f := range stack {
+			parts[i] = f.name
+		}
+		return strings.Join(parts, "/")
+	}
+	for i, e := range events {
+		// The interval (i-1, i] is governed by the stack BEFORE this
+		// event is applied.
+		st.topPath[i] = pathOf()
+		if len(stack) > 0 {
+			st.enterTime[i] = stack[len(stack)-1].enter
+		}
+		switch e.Kind {
+		case trace.EvEnter:
+			stack = append(stack, frame{tr.RegionName(e.Region), float64(e.Time)})
+		case trace.EvExit:
+			if len(stack) > 0 {
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return st
+}

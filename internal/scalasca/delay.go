@@ -1,0 +1,101 @@
+package scalasca
+
+import (
+	"sort"
+
+	"repro/internal/cube"
+)
+
+// windowShares returns the delaying location's exclusive computation per
+// call path within [start, end], plus the total.
+func (a *analysis) windowShares(loc int, start, end float64) (map[cube.PathID]float64, float64) {
+	intervals := a.comp[loc]
+	i := sort.Search(len(intervals), func(i int) bool { return intervals[i].end > start })
+	shares := make(map[cube.PathID]float64)
+	var total float64
+	for ; i < len(intervals) && intervals[i].start < end; i++ {
+		iv := intervals[i]
+		lo, hi := iv.start, iv.end
+		if lo < start {
+			lo = start
+		}
+		if hi > end {
+			hi = end
+		}
+		if hi > lo {
+			shares[iv.path] += hi - lo
+			total += hi - lo
+		}
+	}
+	return shares, total
+}
+
+// addShares distributes cost over paths proportionally to their weights.
+func (a *analysis) addShares(metric cube.MetricID, loc int, shares map[cube.PathID]float64, total, cost float64) {
+	paths := make([]cube.PathID, 0, len(shares))
+	for p, w := range shares {
+		if w > 0 {
+			paths = append(paths, p)
+		}
+	}
+	sort.Slice(paths, func(x, y int) bool { return paths[x] < paths[y] })
+	for _, p := range paths {
+		a.prof.Add(metric, p, loc, cost*shares[p]/total)
+	}
+}
+
+// attributeDelay charges cost units of delay to the call paths of the
+// delaying location, within the window [start, end] since the previous
+// synchronisation point.
+//
+// Following the spirit of Scalasca's delay analysis, the cost goes to the
+// delayer's computational *excess*: for each call path, the delayer's
+// in-window computation minus the average of the other participants'.
+// Balanced code cancels out and only the imbalance is blamed — this is
+// what makes delay costs point at ApplyMaterialPropertiesForElems rather
+// than at LULESH's large (but balanced) nodal loops (§V-C3).  When no
+// path shows positive excess (for example, when the wait was caused by
+// noise rather than by work), the cost falls back to plain proportional
+// attribution over the delayer's window.
+func (a *analysis) attributeDelay(metric cube.MetricID, delayer int, others []int, start, end, cost float64) {
+	if cost <= 0 || end <= start {
+		return
+	}
+	mine, myTotal := a.windowShares(delayer, start, end)
+	if myTotal <= 0 {
+		// The delayer did no recorded computation in the window (it was
+		// itself waiting or inside runtime code).  Charge its most
+		// recent computation before the window so the cost stays visible.
+		intervals := a.comp[delayer]
+		j := sort.Search(len(intervals), func(i int) bool { return intervals[i].end > start })
+		if j > 0 {
+			a.prof.Add(metric, intervals[j-1].path, delayer, cost)
+		} else if len(intervals) > 0 {
+			a.prof.Add(metric, intervals[0].path, delayer, cost)
+		}
+		return
+	}
+	excess := make(map[cube.PathID]float64, len(mine))
+	var excessTotal float64
+	if len(others) > 0 {
+		sum := make(map[cube.PathID]float64)
+		for _, o := range others {
+			os, _ := a.windowShares(o, start, end)
+			for p, w := range os {
+				sum[p] += w
+			}
+		}
+		n := float64(len(others))
+		for p, w := range mine {
+			if e := w - sum[p]/n; e > 0 {
+				excess[p] = e
+				excessTotal += e
+			}
+		}
+	}
+	if excessTotal > 0 {
+		a.addShares(metric, delayer, excess, excessTotal, cost)
+		return
+	}
+	a.addShares(metric, delayer, mine, myTotal, cost)
+}

@@ -1,0 +1,169 @@
+package scalasca
+
+import "sort"
+
+// matchP2P pairs send and receive records FIFO per (src, dst, tag) channel
+// — the MPI non-overtaking rule — and computes the late-sender and
+// late-receiver wait states plus the late-sender delay costs.
+func (a *analysis) matchP2P() {
+	type chanKey struct {
+		src, dst int32
+		tag      int32
+	}
+	queues := make(map[chanKey][]int)
+	for i, s := range a.sends {
+		k := chanKey{int32(a.tr.Locs[s.loc].Rank), s.dst, s.tag}
+		queues[k] = append(queues[k], i)
+	}
+	// Receives are matched in each location's event order, which the scan
+	// preserved; sort globally by (loc, tsEvent) for reproducibility.
+	order := make([]int, len(a.recvs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		rx, ry := a.recvs[order[x]], a.recvs[order[y]]
+		if rx.loc != ry.loc {
+			return rx.loc < ry.loc
+		}
+		return rx.tsEvent < ry.tsEvent
+	})
+	for _, ri := range order {
+		r := a.recvs[ri]
+		k := chanKey{r.src, int32(a.tr.Locs[r.loc].Rank), r.tag}
+		q := queues[k]
+		if len(q) == 0 {
+			continue // unmatched (e.g. wildcard-tag bookkeeping mismatch)
+		}
+		s := a.sends[q[0]]
+		queues[k] = q[1:]
+
+		// Late sender: the receiver entered its receive before the send
+		// started; it blocked until the message could arrive.
+		ls := s.tsEvent - r.tsEnter
+		if max := r.tsEvent - r.tsEnter; ls > max {
+			ls = max
+		}
+		if ls > 0 {
+			a.prof.Add(a.m.lateSender, r.path, r.loc, ls)
+			a.attributeDelay(a.m.delayLS, s.loc, []int{r.loc}, s.tsEnter-ls, s.tsEnter, ls)
+		}
+
+		// Late receiver: a rendezvous sender blocked until the receiver
+		// entered its receive.
+		lr := r.tsEnter - s.tsEnter
+		if max := s.tsExit - s.tsEnter; lr > max {
+			lr = max
+		}
+		if lr > 0 {
+			a.prof.Add(a.m.lateReceiver, s.path, s.loc, lr)
+		}
+	}
+}
+
+// collectives groups collective instances and computes the wait-at-NxN
+// state: every rank that arrived before the last one waited for it
+// (paper §III).  The delay cost of each instance is attributed to the
+// computation the delaying rank performed since the communicator's
+// previous synchronisation point — that is what points the analyst at
+// imbalanced functions rather than at the MPI call itself.
+func (a *analysis) collectives() {
+	// Instances per communicator in sequence order.
+	type instKey struct{ comm, seq int32 }
+	keys := make([]instKey, 0, len(a.colls))
+	for k := range a.colls {
+		keys = append(keys, instKey{k[0], k[1]})
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].comm != keys[j].comm {
+			return keys[i].comm < keys[j].comm
+		}
+		return keys[i].seq < keys[j].seq
+	})
+	prevRelease := make(map[int32]float64) // comm -> previous instance's max enter
+	for _, k := range keys {
+		parts := a.colls[[2]int32{k.comm, k.seq}]
+		if len(parts) < 2 {
+			continue
+		}
+		maxEnter := parts[0].tsEnter
+		last := parts[0]
+		for _, p := range parts[1:] {
+			if p.tsEnter > maxEnter {
+				maxEnter = p.tsEnter
+				last = p
+			}
+		}
+		var totalWait float64
+		for _, p := range parts {
+			w := maxEnter - p.tsEnter
+			if w > 0 {
+				metric := a.m.waitNxN
+				if p.isBarrier {
+					metric = a.m.waitBarrier
+				}
+				a.prof.Add(metric, p.path, p.loc, w)
+				totalWait += w
+			}
+		}
+		if totalWait > 0 {
+			start := prevRelease[k.comm]
+			others := make([]int, 0, len(parts)-1)
+			for _, p := range parts {
+				if p.loc != last.loc {
+					others = append(others, p.loc)
+				}
+			}
+			a.attributeDelay(a.m.delayNxN, last.loc, others, start, maxEnter, totalWait)
+		}
+		prevRelease[k.comm] = maxEnter
+	}
+}
+
+// ompBarriers splits each OpenMP barrier instance into waiting (before the
+// last thread arrived) and overhead (after).
+func (a *analysis) ompBarriers() {
+	type instKey struct{ rank, seq int32 }
+	keys := make([]instKey, 0, len(a.bars))
+	for k := range a.bars {
+		keys = append(keys, instKey{k[0], k[1]})
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].rank != keys[j].rank {
+			return keys[i].rank < keys[j].rank
+		}
+		return keys[i].seq < keys[j].seq
+	})
+	for _, k := range keys {
+		parts := a.bars[[2]int32{k.rank, k.seq}]
+		if len(parts) < 2 {
+			// A one-thread team's barrier is pure overhead.
+			for _, p := range parts {
+				a.prof.Add(a.m.barOverhead, p.path, p.loc, p.tsExit-p.tsEnter)
+			}
+			continue
+		}
+		maxEnter := parts[0].tsEnter
+		for _, p := range parts[1:] {
+			if p.tsEnter > maxEnter {
+				maxEnter = p.tsEnter
+			}
+		}
+		for _, p := range parts {
+			w := maxEnter - p.tsEnter
+			if w < 0 {
+				w = 0
+			}
+			if max := p.tsExit - p.tsEnter; w > max {
+				w = max
+			}
+			oh := (p.tsExit - p.tsEnter) - w
+			if w > 0 {
+				a.prof.Add(a.m.barWait, p.path, p.loc, w)
+			}
+			if oh > 0 {
+				a.prof.Add(a.m.barOverhead, p.path, p.loc, oh)
+			}
+		}
+	}
+}

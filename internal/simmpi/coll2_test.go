@@ -1,0 +1,101 @@
+package simmpi
+
+import "testing"
+
+func TestReduceOnlyRootGetsResult(t *testing.T) {
+	const n = 4
+	job(t, n, func(p *Proc) {
+		out, _ := p.W.CommWorld().Reduce(p, 2, []float64{float64(p.Rank + 1)}, OpSum, 0)
+		if p.Rank == 2 {
+			if out == nil || out[0] != 10 {
+				t.Errorf("root got %v, want [10]", out)
+			}
+		} else if out != nil {
+			t.Errorf("rank %d got non-nil %v", p.Rank, out)
+		}
+	})
+}
+
+func TestGather(t *testing.T) {
+	const n = 3
+	job(t, n, func(p *Proc) {
+		out, _ := p.W.CommWorld().Gather(p, 0, []float64{float64(10 * p.Rank)}, 0)
+		if p.Rank == 0 {
+			for i := 0; i < n; i++ {
+				if out[i][0] != float64(10*i) {
+					t.Errorf("gathered[%d] = %v", i, out[i])
+				}
+			}
+		} else if out != nil {
+			t.Errorf("rank %d got non-nil gather", p.Rank)
+		}
+	})
+}
+
+func TestScatter(t *testing.T) {
+	const n = 3
+	job(t, n, func(p *Proc) {
+		var data [][]float64
+		if p.Rank == 1 {
+			data = [][]float64{{100}, {101}, {102}}
+		}
+		out, _ := p.W.CommWorld().Scatter(p, 1, data, 0)
+		if out[0] != float64(100+p.Rank) {
+			t.Errorf("rank %d scattered %v", p.Rank, out)
+		}
+	})
+}
+
+func TestScanInclusivePrefix(t *testing.T) {
+	const n = 5
+	job(t, n, func(p *Proc) {
+		out, _ := p.W.CommWorld().Scan(p, []float64{float64(p.Rank + 1)}, OpSum, 0)
+		want := float64((p.Rank + 1) * (p.Rank + 2) / 2)
+		if out[0] != want {
+			t.Errorf("rank %d scan = %v, want %g", p.Rank, out, want)
+		}
+	})
+}
+
+func TestScanMax(t *testing.T) {
+	job(t, 4, func(p *Proc) {
+		// Contributions 3, 1, 4, 1 -> prefix max 3, 3, 4, 4.
+		vals := []float64{3, 1, 4, 1}
+		out, _ := p.W.CommWorld().Scan(p, []float64{vals[p.Rank]}, OpMax, 0)
+		want := []float64{3, 3, 4, 4}[p.Rank]
+		if out[0] != want {
+			t.Errorf("rank %d scan-max = %v, want %g", p.Rank, out, want)
+		}
+	})
+}
+
+func TestSendrecvRing(t *testing.T) {
+	const n = 4
+	job(t, n, func(p *Proc) {
+		right := (p.Rank + 1) % n
+		left := (p.Rank + n - 1) % n
+		msg, err := p.Sendrecv(right, 1, []float64{float64(p.Rank)}, 8, left, 1, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if msg.Data[0] != float64(left) {
+			t.Errorf("rank %d received %v, want %d", p.Rank, msg.Data, left)
+		}
+	})
+}
+
+func TestMixedNewCollectivesInSequence(t *testing.T) {
+	job(t, 4, func(p *Proc) {
+		comm := p.W.CommWorld()
+		for i := 0; i < 10; i++ {
+			comm.Reduce(p, 0, []float64{1}, OpSum, 0)
+			comm.Scan(p, []float64{1}, OpSum, 0)
+			if p.Rank == 3 {
+				comm.Gather(p, 3, []float64{2}, 0)
+			} else {
+				comm.Gather(p, 3, []float64{2}, 0)
+			}
+		}
+	})
+}

@@ -1,0 +1,77 @@
+package simmpi
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+	"repro/internal/simomp"
+	"repro/internal/vtime"
+)
+
+// TestPropertyRandomProgramsComplete generates random bulk-synchronous
+// programs (compute, neighbour exchanges, collectives in random order,
+// but the same order on every rank) and checks they always run to
+// completion deterministically.
+func TestPropertyRandomProgramsComplete(t *testing.T) {
+	runProgram := func(seed int64) []float64 {
+		rng := rand.New(rand.NewSource(seed))
+		ranks := 2 + rng.Intn(6)
+		steps := 1 + rng.Intn(8)
+		kinds := make([]int, steps)
+		params := make([]int, steps)
+		for i := range kinds {
+			kinds[i] = rng.Intn(5)
+			params[i] = rng.Intn(3)
+		}
+		k := vtime.NewKernel()
+		m := machine.New(k, machine.Jureca(1))
+		place, err := machine.PlaceBlock(m, ranks, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := NewWorld(k, m, place, DefaultConfig(), simomp.DefaultCosts(), nil)
+		ends := make([]float64, ranks)
+		w.Launch(func(p *Proc) {
+			comm := p.W.CommWorld()
+			for i, kind := range kinds {
+				switch kind {
+				case 0:
+					p.Loc.Actor.Compute(float64(1+params[i]) * 1e-4 * float64(1+p.Rank%3))
+				case 1:
+					comm.Allreduce(p, []float64{1}, OpSum, 0)
+				case 2:
+					comm.Barrier(p, 0)
+				case 3:
+					// Ring exchange.
+					right := (p.Rank + 1) % ranks
+					left := (p.Rank + ranks - 1) % ranks
+					req := p.Irecv(left, i)
+					p.Isend(right, i, []float64{1}, 8*(1+params[i]*4096), 0)
+					p.Wait(req)
+				case 4:
+					comm.Allgather(p, []float64{float64(p.Rank)}, 0)
+				}
+			}
+			ends[p.Rank] = p.Loc.Now()
+		})
+		if err := k.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		return ends
+	}
+	f := func(seed int64) bool {
+		a := runProgram(seed)
+		b := runProgram(seed)
+		for i := range a {
+			if a[i] != b[i] || a[i] <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

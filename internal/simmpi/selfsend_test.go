@@ -1,0 +1,93 @@
+package simmpi
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestSelfSendReceivesOwnMessage(t *testing.T) {
+	job(t, 2, func(p *Proc) {
+		if p.Rank != 0 {
+			return
+		}
+		req := p.Irecv(0, 9)
+		p.Isend(0, 9, []float64{42}, 8, 7)
+		p.Wait(req)
+		if req.Msg().Data[0] != 42 || req.Msg().Piggyback != 7 {
+			t.Errorf("self-send delivered %+v", req.Msg())
+		}
+	})
+}
+
+func TestEagerThresholdBoundary(t *testing.T) {
+	// Exactly-at-threshold messages stay eager; one byte above goes
+	// rendezvous (the sender blocks until the receiver posts).
+	cfg := DefaultConfig()
+	var atExit, aboveExit float64
+	job(t, 2, func(p *Proc) {
+		if p.Rank == 0 {
+			p.Send(1, 1, nil, cfg.EagerThreshold, 0)
+			atExit = p.Loc.Now()
+			p.Send(1, 2, nil, cfg.EagerThreshold+1, 0)
+			aboveExit = p.Loc.Now()
+		} else {
+			p.Loc.Actor.Compute(30e-3)
+			p.Recv(0, 1)
+			p.Recv(0, 2)
+		}
+	})
+	if atExit > 1e-3 {
+		t.Fatalf("at-threshold send blocked until %g", atExit)
+	}
+	if aboveExit < 30e-3 {
+		t.Fatalf("above-threshold send returned at %g, before the receiver arrived", aboveExit)
+	}
+}
+
+func TestTestAndWaitany(t *testing.T) {
+	job(t, 3, func(p *Proc) {
+		switch p.Rank {
+		case 0:
+			// Two outstanding receives; sources arrive at different
+			// times.  Waitany returns the early one first.
+			fast := p.Irecv(1, 1)
+			slow := p.Irecv(2, 2)
+			if p.Test(fast) || p.Test(slow) {
+				t.Error("requests complete before any send")
+			}
+			first := p.Waitany([]*Request{slow, fast})
+			if first != 1 {
+				t.Errorf("Waitany returned %d, want 1 (the fast sender)", first)
+			}
+			p.Wait(slow)
+			if !p.Test(slow) || !p.Test(fast) {
+				t.Error("Test false after completion")
+			}
+		case 1:
+			p.Send(0, 1, []float64{1}, 8, 0)
+		case 2:
+			p.Loc.Actor.Compute(20e-3)
+			p.Send(0, 2, []float64{2}, 8, 0)
+		}
+	})
+}
+
+func TestNoGoroutineLeaksAfterCleanRun(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		job(t, 8, func(p *Proc) {
+			p.W.CommWorld().Barrier(p, 0)
+		})
+	}
+	// Give finished goroutines a moment to unwind.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}

@@ -1,0 +1,143 @@
+package simomp
+
+import (
+	"testing"
+
+	"repro/internal/loc"
+	"repro/internal/work"
+)
+
+func TestDynamicLoopCoversRangeOnce(t *testing.T) {
+	harness(t, 4, func(tm *Team, _ *loc.Location) {
+		const n = 97
+		hits := make([]int, n)
+		d := NewDynamicLoop(n, 8)
+		tm.Parallel(func(th *Thread) {
+			for lo, hi, ok := th.NextChunk(d); ok; lo, hi, ok = th.NextChunk(d) {
+				for i := lo; i < hi; i++ {
+					hits[i]++
+				}
+			}
+			th.Barrier()
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("index %d hit %d times", i, h)
+			}
+		}
+	})
+}
+
+func TestDynamicLoopBalancesSkewedWork(t *testing.T) {
+	// Iterations 0..15 are 20x more expensive than the rest.  Static
+	// scheduling lands them all on thread 0; dynamic scheduling spreads
+	// them, so the barrier wait shrinks.
+	const n = 64
+	cost := func(i int) work.Cost {
+		f := 1.0
+		if i < 16 {
+			f = 20
+		}
+		return work.Cost{Instr: 1e6 * f, Flops: 1e6 * f}
+	}
+	var staticWall, dynWall float64
+	harness(t, 4, func(tm *Team, l *loc.Location) {
+		start := l.Now()
+		tm.ParallelFor(n, func(lo, hi int, th *Thread) {
+			for i := lo; i < hi; i++ {
+				th.Loc.Work(cost(i))
+			}
+		})
+		staticWall = l.Now() - start
+
+		start = l.Now()
+		d := NewDynamicLoop(n, 2)
+		tm.Parallel(func(th *Thread) {
+			for lo, hi, ok := th.NextChunk(d); ok; lo, hi, ok = th.NextChunk(d) {
+				for i := lo; i < hi; i++ {
+					th.Loc.Work(cost(i))
+				}
+			}
+			th.Barrier()
+		})
+		dynWall = l.Now() - start
+	})
+	if dynWall >= staticWall {
+		t.Fatalf("dynamic schedule (%g s) not faster than static (%g s) on skewed work", dynWall, staticWall)
+	}
+}
+
+func TestDynamicLoopChunkClamping(t *testing.T) {
+	harness(t, 2, func(tm *Team, _ *loc.Location) {
+		d := NewDynamicLoop(10, 0) // chunk clamped to 1
+		total := 0
+		tm.Parallel(func(th *Thread) {
+			for lo, hi, ok := th.NextChunk(d); ok; lo, hi, ok = th.NextChunk(d) {
+				th.Critical(func() { total += hi - lo })
+			}
+			th.Barrier()
+		})
+		if total != 10 {
+			t.Fatalf("covered %d iterations, want 10", total)
+		}
+	})
+}
+
+func TestSectionsRunEachOnce(t *testing.T) {
+	harness(t, 4, func(tm *Team, _ *loc.Location) {
+		for rep := 0; rep < 3; rep++ {
+			ran := make([]int, 5)
+			byThread := map[int]int{}
+			tm.Parallel(func(th *Thread) {
+				fns := make([]func(), 5)
+				for i := range fns {
+					i := i
+					fns[i] = func() {
+						ran[i]++
+						byThread[th.ID]++
+						th.Loc.Actor.Compute(1e-5)
+					}
+				}
+				th.Sections(fns...)
+				th.Barrier()
+			})
+			for i, n := range ran {
+				if n != 1 {
+					t.Fatalf("rep %d: section %d ran %d times", rep, i, n)
+				}
+			}
+			// With 5 sections and 4 threads doing real work, more than
+			// one thread should have claimed something.
+			if len(byThread) < 2 {
+				t.Fatalf("rep %d: sections not shared across threads: %v", rep, byThread)
+			}
+		}
+	})
+}
+
+func TestConsecutiveSectionsConstructs(t *testing.T) {
+	harness(t, 2, func(tm *Team, _ *loc.Location) {
+		total := 0
+		tm.Parallel(func(th *Thread) {
+			th.Sections(func() { total += 1 }, func() { total += 10 })
+			th.Barrier()
+			th.Sections(func() { total += 100 })
+			th.Barrier()
+		})
+		if total != 111 {
+			t.Fatalf("total = %d, want 111", total)
+		}
+	})
+}
+
+func TestDynamicLoopEmpty(t *testing.T) {
+	harness(t, 2, func(tm *Team, _ *loc.Location) {
+		d := NewDynamicLoop(0, 4)
+		tm.Parallel(func(th *Thread) {
+			if _, _, ok := th.NextChunk(d); ok {
+				t.Error("empty loop yielded a chunk")
+			}
+			th.Barrier()
+		})
+	})
+}

@@ -1,0 +1,211 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace format (all integers varint-encoded unless noted):
+//
+//	magic "LTRC" (4 bytes), version uvarint
+//	clock name: uvarint length + bytes
+//	region count, then per region: name (len+bytes), role (1 byte)
+//	location count, then per location:
+//	    rank, thread, event count,
+//	    events with delta-encoded timestamps:
+//	        kind (1 byte), time delta, region, A (zigzag), B (zigzag),
+//	        C (zigzag)
+const (
+	magic         = "LTRC"
+	formatVersion = 1
+)
+
+// Write serialises the trace.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putU := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putI := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putS := func(s string) error {
+		if err := putU(uint64(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	if err := putU(formatVersion); err != nil {
+		return err
+	}
+	if err := putS(t.Clock); err != nil {
+		return err
+	}
+	if err := putU(uint64(len(t.Regions))); err != nil {
+		return err
+	}
+	for _, r := range t.Regions {
+		if err := putS(r.Name); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(r.Role)); err != nil {
+			return err
+		}
+	}
+	if err := putU(uint64(len(t.Locs))); err != nil {
+		return err
+	}
+	for _, l := range t.Locs {
+		if err := putU(uint64(l.Rank)); err != nil {
+			return err
+		}
+		if err := putU(uint64(l.Thread)); err != nil {
+			return err
+		}
+		if err := putU(uint64(len(l.Events))); err != nil {
+			return err
+		}
+		prev := uint64(0)
+		for _, e := range l.Events {
+			if err := bw.WriteByte(byte(e.Kind)); err != nil {
+				return err
+			}
+			if err := putU(e.Time - prev); err != nil {
+				return err
+			}
+			prev = e.Time
+			if err := putU(uint64(e.Region)); err != nil {
+				return err
+			}
+			if err := putI(int64(e.A)); err != nil {
+				return err
+			}
+			if err := putI(int64(e.B)); err != nil {
+				return err
+			}
+			if err := putI(e.C); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserialises a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", head)
+	}
+	getU := func() (uint64, error) { return binary.ReadUvarint(br) }
+	getI := func() (int64, error) { return binary.ReadVarint(br) }
+	getS := func() (string, error) {
+		n, err := getU()
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("trace: implausible string length %d", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	ver, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	if ver != formatVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	clock, err := getS()
+	if err != nil {
+		return nil, err
+	}
+	t := New(clock)
+	nreg, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nreg; i++ {
+		name, err := getS()
+		if err != nil {
+			return nil, err
+		}
+		role, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		t.Region(name, Role(role))
+	}
+	nloc, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nloc; i++ {
+		rank, err := getU()
+		if err != nil {
+			return nil, err
+		}
+		thread, err := getU()
+		if err != nil {
+			return nil, err
+		}
+		nev, err := getU()
+		if err != nil {
+			return nil, err
+		}
+		li := t.AddLocation(int(rank), int(thread))
+		t.Locs[li].Events = make([]Event, 0, nev)
+		prev := uint64(0)
+		for j := uint64(0); j < nev; j++ {
+			kind, err := br.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			dt, err := getU()
+			if err != nil {
+				return nil, err
+			}
+			prev += dt
+			reg, err := getU()
+			if err != nil {
+				return nil, err
+			}
+			a, err := getI()
+			if err != nil {
+				return nil, err
+			}
+			b, err := getI()
+			if err != nil {
+				return nil, err
+			}
+			c, err := getI()
+			if err != nil {
+				return nil, err
+			}
+			t.Locs[li].Events = append(t.Locs[li].Events, Event{
+				Kind: EvKind(kind), Time: prev, Region: RegionID(reg),
+				A: int32(a), B: int32(b), C: c,
+			})
+		}
+	}
+	return t, nil
+}

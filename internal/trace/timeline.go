@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// Timeline categories, one rune per activity class.
+const (
+	cellOutside = ' ' // before the first / after the last event
+	cellComp    = '#' // user computation and loop bodies
+	cellMPI     = 'M' // inside MPI calls
+	cellOmp     = 'o' // OpenMP runtime (fork/join/barrier/critical)
+	cellIdle    = '.' // inside a parallel region but not working (rare)
+)
+
+func categoryOf(role Role) rune {
+	switch {
+	case role == RoleUser || role == RoleOmpLoop:
+		return cellComp
+	case role.IsMPI():
+		return cellMPI
+	case role.IsOmp() || role == RoleOmpParallel:
+		return cellOmp
+	}
+	return cellIdle
+}
+
+// RenderTimeline draws a Vampir-style ASCII timeline: one row per
+// location, the trace's time span bucketed into width columns, each cell
+// showing the dominant activity ('#' compute, 'M' MPI, 'o' OpenMP
+// runtime, blank outside the program).  maxLocs caps the rows (0 = all).
+func RenderTimeline(w io.Writer, tr *Trace, width, maxLocs int) {
+	if width < 10 {
+		width = 10
+	}
+	var tMin, tMax float64
+	first := true
+	for _, l := range tr.Locs {
+		if len(l.Events) == 0 {
+			continue
+		}
+		lo, hi := float64(l.Events[0].Time), float64(l.Events[len(l.Events)-1].Time)
+		if first || lo < tMin {
+			tMin = lo
+		}
+		if first || hi > tMax {
+			tMax = hi
+		}
+		first = false
+	}
+	if first || tMax <= tMin {
+		fmt.Fprintln(w, "timeline: empty trace")
+		return
+	}
+	span := tMax - tMin
+	fmt.Fprintf(w, "timeline (%s clock): %g .. %g ticks, %d ticks/cell\n",
+		tr.Clock, tMin, tMax, int(span/float64(width)))
+	rows := len(tr.Locs)
+	if maxLocs > 0 && rows > maxLocs {
+		rows = maxLocs
+	}
+	for li := 0; li < rows; li++ {
+		l := tr.Locs[li]
+		cells := make([]rune, width)
+		weight := make([]map[rune]float64, width)
+		for i := range cells {
+			cells[i] = cellOutside
+			weight[i] = map[rune]float64{}
+		}
+		var stack []Role
+		var prev float64
+		for i, e := range l.Events {
+			t := float64(e.Time)
+			if i > 0 && len(stack) > 0 && t > prev {
+				cat := categoryOf(stack[len(stack)-1])
+				addSpan(weight, tMin, span, width, prev, t, cat)
+			}
+			prev = t
+			switch e.Kind {
+			case EvEnter:
+				stack = append(stack, tr.Regions[e.Region].Role)
+			case EvExit:
+				if len(stack) > 0 {
+					stack = stack[:len(stack)-1]
+				}
+			}
+		}
+		for i := range cells {
+			var best rune = cellOutside
+			var bw float64
+			for cat, v := range weight[i] {
+				if v > bw || (v == bw && cat < best) {
+					best, bw = cat, v
+				}
+			}
+			if bw > 0 {
+				cells[i] = best
+			}
+		}
+		fmt.Fprintf(w, "r%-3dt%-3d |%s|\n", l.Rank, l.Thread, string(cells))
+	}
+	if rows < len(tr.Locs) {
+		fmt.Fprintf(w, "(%d more locations)\n", len(tr.Locs)-rows)
+	}
+	fmt.Fprintln(w, "legend: '#' compute   'M' MPI   'o' OpenMP runtime   ' ' outside")
+}
+
+// addSpan distributes the interval [a, b) over the buckets it overlaps.
+func addSpan(weight []map[rune]float64, tMin, span float64, width int, a, b float64, cat rune) {
+	scale := float64(width) / span
+	lo := int((a - tMin) * scale)
+	hi := int((b - tMin) * scale)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= width {
+		hi = width - 1
+	}
+	for i := lo; i <= hi; i++ {
+		cellLo := tMin + float64(i)/scale
+		cellHi := cellLo + 1/scale
+		ovLo, ovHi := a, b
+		if cellLo > ovLo {
+			ovLo = cellLo
+		}
+		if cellHi < ovHi {
+			ovHi = cellHi
+		}
+		if ovHi > ovLo {
+			weight[i][cat] += ovHi - ovLo
+		}
+	}
+}

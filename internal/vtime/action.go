@@ -1,0 +1,107 @@
+package vtime
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// workEpsilon is the absolute amount of remaining work below which an
+// action is considered complete.  Work quantities in this codebase are
+// normalised such that one unit is roughly one second at full speed, so
+// 1e-12 is far below any meaningful quantum.
+const workEpsilon = 1e-12
+
+// Action describes one fluid work request issued by an actor.  The zero
+// value is an empty action that completes immediately.
+type Action struct {
+	// Delay is a latency phase in virtual seconds.  It always progresses
+	// at rate one and is consumed before the work phase starts.  Use it
+	// for network latencies and fixed overheads.
+	Delay float64
+
+	// Work is the size of the work phase in abstract units.
+	Work float64
+
+	// RateCap bounds the progress rate of the work phase in units per
+	// second.  Zero means unbounded (useful for pure transfers that are
+	// only limited by a shared resource).
+	RateCap float64
+
+	// Res, if non-nil, is the shared resource the work phase draws on.
+	// ResPerUnit is the amount of resource consumed per work unit; the
+	// action's progress rate r consumes r*ResPerUnit of the resource's
+	// capacity.  If Res is nil the action runs at RateCap.
+	Res        *Resource
+	ResPerUnit float64
+
+	// internal state
+	seq        uint64
+	actor      *Actor
+	phase      actionPhase
+	rate       float64 // current work-phase rate, units/s
+	settled    float64 // virtual time of last progress settlement
+	finishAt   float64 // predicted completion of current phase
+	heapIndex  int
+	remaining  float64 // remaining work units
+	delayLeft  float64
+	onComplete func() // optional completion callback (used by detached actions)
+}
+
+type actionPhase int
+
+const (
+	phaseDelay actionPhase = iota
+	phaseWork
+	phaseDone
+)
+
+func (a *Action) validate() {
+	if a.Delay < 0 || math.IsNaN(a.Delay) || math.IsInf(a.Delay, 0) {
+		panic(fmt.Sprintf("vtime: invalid action delay %g", a.Delay))
+	}
+	if a.Work < 0 || math.IsNaN(a.Work) || math.IsInf(a.Work, 0) {
+		panic(fmt.Sprintf("vtime: invalid action work %g", a.Work))
+	}
+	if a.RateCap < 0 || math.IsNaN(a.RateCap) {
+		panic(fmt.Sprintf("vtime: invalid action rate cap %g", a.RateCap))
+	}
+	if a.Res != nil && a.ResPerUnit <= 0 {
+		panic("vtime: action with resource must set positive ResPerUnit")
+	}
+	if a.Res == nil && a.Work > 0 && a.RateCap == 0 {
+		panic("vtime: resourceless action with work must set RateCap")
+	}
+}
+
+// shareResource recomputes the work-phase rates of every member of r by
+// equal-allocation water-filling: each member receives capacity/n unless
+// its rate cap makes it need less, in which case the surplus is shared by
+// the others.  Returns without effect if the resource has no members.
+func shareResource(r *Resource) {
+	n := len(r.members)
+	if n == 0 {
+		return
+	}
+	// Sort a scratch copy by need (allocation the member could consume at
+	// its rate cap); water-fill in ascending order of need.
+	scratch := make([]*Action, n)
+	copy(scratch, r.members)
+	need := func(a *Action) float64 {
+		if a.RateCap == 0 {
+			return math.Inf(1)
+		}
+		return a.RateCap * a.ResPerUnit
+	}
+	sort.SliceStable(scratch, func(i, j int) bool { return need(scratch[i]) < need(scratch[j]) })
+	left := r.capacity
+	for i, a := range scratch {
+		fair := left / float64(n-i)
+		alloc := fair
+		if nd := need(a); nd < alloc {
+			alloc = nd
+		}
+		left -= alloc
+		a.rate = alloc / a.ResPerUnit
+	}
+}

@@ -1,0 +1,81 @@
+package vtime
+
+import "fmt"
+
+// Actor is one simulated thread of execution.  Actor methods must only be
+// called from the actor's own goroutine (that is, from within the function
+// passed to Spawn), with the exception of the read-only accessors.
+type Actor struct {
+	k      *Kernel
+	id     int
+	name   string
+	resume chan struct{}
+	done   bool
+	status string
+}
+
+// ID returns the kernel-wide actor index, assigned in spawn order.
+func (a *Actor) ID() int { return a.id }
+
+// Name returns the diagnostic name given at spawn time.
+func (a *Actor) Name() string { return a.name }
+
+// Kernel returns the kernel this actor belongs to.
+func (a *Actor) Kernel() *Kernel { return a.k }
+
+// Now returns the current virtual time.
+func (a *Actor) Now() float64 { return a.k.now }
+
+// yield blocks the actor and hands control back to the kernel.  The actor
+// resumes when the kernel marks it runnable again.
+func (a *Actor) yield() {
+	a.checkContext()
+	a.k.yielded <- struct{}{}
+	<-a.resume
+	a.status = "running"
+}
+
+// checkContext panics if a blocking primitive is invoked on this actor
+// from a goroutine that does not hold the execution slot for it.  Running
+// work "on behalf of" a parked actor from another goroutine corrupts the
+// resume handshake, so it must fail fast.
+func (a *Actor) checkContext() {
+	if a.k.running && a.k.current != a {
+		cur := "<kernel>"
+		if a.k.current != nil {
+			cur = a.k.current.name
+		}
+		panic(fmt.Sprintf("vtime: blocking call on actor %q from execution context of %q", a.name, cur))
+	}
+}
+
+// Execute performs the given action and blocks the actor until it
+// completes in virtual time.  Zero-cost actions return immediately without
+// a scheduling round-trip.
+func (a *Actor) Execute(act Action) {
+	if act.Delay == 0 && act.Work == 0 {
+		return
+	}
+	act.actor = a
+	a.status = fmt.Sprintf("executing (delay=%g work=%g)", act.Delay, act.Work)
+	a.k.submit(&act)
+	a.yield()
+}
+
+// Sleep advances the actor's virtual time by d seconds without consuming
+// any shared resource.
+func (a *Actor) Sleep(d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("vtime: negative sleep %g", d))
+	}
+	a.Execute(Action{Delay: d})
+}
+
+// Compute advances the actor by sec seconds of dedicated CPU work (no
+// shared resource).
+func (a *Actor) Compute(sec float64) {
+	if sec < 0 {
+		panic(fmt.Sprintf("vtime: negative compute %g", sec))
+	}
+	a.Execute(Action{Work: sec, RateCap: 1})
+}

@@ -1,0 +1,156 @@
+package vtime
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPostChain(t *testing.T) {
+	// Completion callbacks may Post further actions.
+	k := NewKernel()
+	var times []float64
+	var chain func(depth int)
+	chain = func(depth int) {
+		if depth == 0 {
+			return
+		}
+		k.Post(Action{Delay: 0.5}, func() {
+			times = append(times, k.Now())
+			chain(depth - 1)
+		})
+	}
+	k.Spawn("starter", func(a *Actor) { chain(4) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 4 {
+		t.Fatalf("chain fired %d times, want 4", len(times))
+	}
+	for i, want := range []float64{0.5, 1.0, 1.5, 2.0} {
+		if d := times[i] - want; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("link %d at %g, want %g", i, times[i], want)
+		}
+	}
+}
+
+func TestZeroWorkOnResourceIsOrdered(t *testing.T) {
+	// A zero-work action on a resource still completes through the heap
+	// (deterministic ordering relative to peers).
+	k := NewKernel()
+	bw := k.NewResource("bw", 10)
+	var done []string
+	k.Spawn("zero", func(a *Actor) {
+		a.Execute(Action{Work: 1e-15, Res: bw, ResPerUnit: 1})
+		done = append(done, "zero")
+	})
+	k.Spawn("one", func(a *Actor) {
+		a.Execute(Action{Work: 10, Res: bw, ResPerUnit: 1})
+		done = append(done, "one")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 2 || done[0] != "zero" {
+		t.Fatalf("completion order %v", done)
+	}
+}
+
+func TestManyResourcesIndependent(t *testing.T) {
+	k := NewKernel()
+	const n = 32
+	ends := make([]float64, n)
+	for i := 0; i < n; i++ {
+		i := i
+		res := k.NewResource("r", float64(i+1))
+		k.Spawn("w", func(a *Actor) {
+			a.Execute(Action{Work: float64(i + 1), Res: res, ResPerUnit: 1})
+			ends[i] = a.Now()
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range ends {
+		if d := e - 1; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("stream %d finished at %g, want 1", i, e)
+		}
+	}
+}
+
+func TestRunTwicePanics(t *testing.T) {
+	k := NewKernel()
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on second Run")
+		}
+	}()
+	_ = k.Run()
+}
+
+func TestStepsAndCompletedCounters(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("w", func(a *Actor) {
+		a.Sleep(1)
+		a.Compute(1)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Steps() == 0 || k.Completed() != 2 {
+		t.Fatalf("steps %d completed %d", k.Steps(), k.Completed())
+	}
+}
+
+// Property: with random capacity changes mid-run, total delivered work
+// still never exceeds the integral of capacity (no free bandwidth).
+func TestPropertyCapacityChangesConserveWork(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := NewKernel()
+		c0 := 5 + rng.Float64()*10
+		bw := k.NewResource("bw", c0)
+		workUnits := 20 + rng.Float64()*20
+		var end float64
+		k.Spawn("w", func(a *Actor) {
+			a.Execute(Action{Work: workUnits, Res: bw, ResPerUnit: 1})
+			end = a.Now()
+		})
+		nChanges := 1 + rng.Intn(4)
+		caps := make([]float64, nChanges)
+		times := make([]float64, nChanges)
+		for i := range caps {
+			caps[i] = 1 + rng.Float64()*20
+			times[i] = rng.Float64() * 2
+		}
+		k.Spawn("controller", func(a *Actor) {
+			last := 0.0
+			for i := range caps {
+				if d := times[i] - last; d > 0 {
+					a.Sleep(d)
+					last = times[i]
+				}
+				bw.SetCapacity(caps[i])
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Log(err)
+			return false
+		}
+		// Integrate available capacity over [0, end].
+		maxCap := c0
+		for _, c := range caps {
+			if c > maxCap {
+				maxCap = c
+			}
+		}
+		// Weak but sound bound: work <= maxCap * end.
+		return workUnits <= maxCap*end+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,263 @@
+package vtime
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// Kernel is the central scheduler of a virtual-time simulation.  Create one
+// with NewKernel, register resources and actors, then call Run.
+type Kernel struct {
+	now       float64
+	seq       uint64
+	actors    []*Actor
+	resources []*Resource
+	heap      finishHeap
+	runnable  []*Actor
+	yielded   chan struct{}
+	alive     int
+	running   bool
+	current   *Actor // actor currently holding the execution slot
+	steps     uint64
+	completed uint64
+	failure   error
+}
+
+// NewKernel creates an empty simulation kernel at virtual time zero.
+func NewKernel() *Kernel {
+	return &Kernel{yielded: make(chan struct{})}
+}
+
+// Now returns the current virtual time in seconds.
+func (k *Kernel) Now() float64 { return k.now }
+
+// Steps returns the number of scheduling steps executed so far.
+func (k *Kernel) Steps() uint64 { return k.steps }
+
+// Completed returns the number of actions completed so far.
+func (k *Kernel) Completed() uint64 { return k.completed }
+
+// nextSeq hands out strictly increasing sequence numbers used as
+// deterministic tiebreakers.
+func (k *Kernel) nextSeq() uint64 {
+	k.seq++
+	return k.seq
+}
+
+// Spawn registers a new actor executing fn.  It may be called before Run or
+// from actor context while the simulation is in progress.  The actor starts
+// at the current virtual time.
+func (k *Kernel) Spawn(name string, fn func(*Actor)) *Actor {
+	a := &Actor{
+		k:      k,
+		id:     len(k.actors),
+		name:   name,
+		resume: make(chan struct{}),
+		status: "spawned",
+	}
+	k.actors = append(k.actors, a)
+	k.alive++
+	go func() {
+		<-a.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if k.failure == nil {
+					k.failure = fmt.Errorf("vtime: actor %d %q panicked: %v\n%s",
+						a.id, a.name, r, debug.Stack())
+				}
+				a.status = fmt.Sprintf("panicked: %v", r)
+			}
+			a.done = true
+			k.alive--
+			k.yielded <- struct{}{}
+		}()
+		fn(a)
+		a.status = "done"
+	}()
+	k.runnable = append(k.runnable, a)
+	return a
+}
+
+// Run executes the simulation until every actor has finished.  It returns
+// an error describing the blocked actors if the simulation deadlocks.
+// Run must be called exactly once, from the goroutine that created the
+// kernel, and never from actor context.
+func (k *Kernel) Run() error {
+	if k.running {
+		panic("vtime: Kernel.Run called twice")
+	}
+	k.running = true
+	for {
+		// Phase 1: let every runnable actor run until it blocks.
+		for len(k.runnable) > 0 {
+			a := k.runnable[0]
+			k.runnable = k.runnable[1:]
+			if a.done {
+				continue
+			}
+			k.current = a
+			a.resume <- struct{}{}
+			<-k.yielded
+			k.current = nil
+			if k.failure != nil {
+				// An actor panicked.  Remaining actors stay parked on
+				// their resume channels; the simulation is abandoned.
+				return k.failure
+			}
+		}
+		// Phase 2: advance virtual time to the next completion.
+		if k.heap.Len() == 0 {
+			if k.alive == 0 {
+				return nil
+			}
+			return k.deadlockError()
+		}
+		k.steps++
+		t := k.heap.peek().finishAt
+		if t < k.now {
+			t = k.now // defensive: never move backwards
+		}
+		k.now = t
+		for k.heap.Len() > 0 && k.heap.peek().finishAt <= t {
+			act := k.heap.pop()
+			act.heapIndex = -1
+			k.fire(act)
+		}
+	}
+}
+
+// fire processes an action whose current phase ended at the current time.
+func (k *Kernel) fire(a *Action) {
+	switch a.phase {
+	case phaseDelay:
+		a.delayLeft = 0
+		k.startWork(a)
+	case phaseWork:
+		if a.Res != nil {
+			a.settle(k.now)
+			a.Res.detach(a)
+			k.resettle(a.Res)
+		}
+		k.complete(a)
+	default:
+		panic("vtime: fire on completed action")
+	}
+}
+
+// submit schedules an action for execution starting at the current time.
+func (k *Kernel) submit(a *Action) {
+	a.validate()
+	a.seq = k.nextSeq()
+	a.heapIndex = -1
+	a.remaining = a.Work
+	a.delayLeft = a.Delay
+	a.settled = k.now
+	if a.delayLeft > 0 {
+		a.phase = phaseDelay
+		a.finishAt = k.now + a.delayLeft
+		k.heap.push(a)
+		return
+	}
+	k.startWork(a)
+}
+
+// startWork transitions an action into its work phase.
+func (k *Kernel) startWork(a *Action) {
+	a.phase = phaseWork
+	a.settled = k.now
+	if a.remaining <= workEpsilon {
+		if a.Res == nil {
+			k.complete(a)
+			return
+		}
+		// Even zero work must visit the heap so that completion order
+		// stays deterministic relative to peers completing now.
+	}
+	if a.Res == nil {
+		a.rate = a.RateCap
+		a.finishAt = k.now + a.remaining/a.rate
+		k.heap.push(a)
+		return
+	}
+	a.Res.attach(a)
+	k.resettle(a.Res)
+}
+
+// resettle recomputes progress, rates and predicted finish times for every
+// member of a resource after membership or capacity changed.
+func (k *Kernel) resettle(r *Resource) {
+	for _, m := range r.members {
+		m.settle(k.now)
+	}
+	shareResource(r)
+	for _, m := range r.members {
+		if m.remaining <= workEpsilon {
+			m.finishAt = k.now
+		} else {
+			m.finishAt = k.now + m.remaining/m.rate
+		}
+		if m.heapIndex >= 0 {
+			k.heap.fix(m)
+		} else {
+			k.heap.push(m)
+		}
+	}
+}
+
+// settle accounts work-phase progress up to time t.
+func (a *Action) settle(t float64) {
+	if a.phase != phaseWork {
+		return
+	}
+	dt := t - a.settled
+	if dt > 0 && a.rate > 0 {
+		a.remaining -= dt * a.rate
+		if a.remaining < 0 {
+			a.remaining = 0
+		}
+	}
+	a.settled = t
+}
+
+// complete finalises an action and wakes its actor or runs its callback.
+func (k *Kernel) complete(a *Action) {
+	a.phase = phaseDone
+	k.completed++
+	if a.onComplete != nil {
+		a.onComplete()
+		return
+	}
+	if a.actor != nil {
+		k.ready(a.actor)
+	}
+}
+
+// ready marks an actor runnable.
+func (k *Kernel) ready(a *Actor) {
+	if a.done {
+		panic("vtime: waking finished actor " + a.name)
+	}
+	k.runnable = append(k.runnable, a)
+}
+
+// Post schedules a detached action that is not tied to a blocked actor.
+// When the action completes, fn runs in kernel context; it must not block
+// but may signal conditions to wake actors.  Post may be called from actor
+// context or from a completion callback.
+func (k *Kernel) Post(a Action, fn func()) {
+	act := a
+	act.onComplete = fn
+	k.submit(&act)
+}
+
+func (k *Kernel) deadlockError() error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "vtime: deadlock at t=%g with %d blocked actors:", k.now, k.alive)
+	for _, a := range k.actors {
+		if !a.done {
+			fmt.Fprintf(&b, "\n  actor %d %q: %s", a.id, a.name, a.status)
+		}
+	}
+	return fmt.Errorf("%s", b.String())
+}

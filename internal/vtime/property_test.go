@@ -1,0 +1,151 @@
+package vtime
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertySharingConservesWork checks, over randomized workloads on one
+// shared resource, that (a) every stream completes, (b) total completion
+// time is at least total-work/capacity (capacity is never exceeded), and
+// (c) no stream finishes faster than running alone at its rate cap.
+func TestPropertySharingConservesWork(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		capacity := 1 + rng.Float64()*99
+		k := NewKernel()
+		bw := k.NewResource("bw", capacity)
+		works := make([]float64, n)
+		caps := make([]float64, n)
+		ends := make([]float64, n)
+		var totalWork float64
+		for i := 0; i < n; i++ {
+			works[i] = 0.1 + rng.Float64()*10
+			if rng.Intn(2) == 0 {
+				caps[i] = 0.1 + rng.Float64()*20
+			}
+			totalWork += works[i]
+			i := i
+			k.Spawn("s", func(a *Actor) {
+				a.Execute(Action{Work: works[i], RateCap: caps[i], Res: bw, ResPerUnit: 1})
+				ends[i] = a.Now()
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		var last float64
+		for i, e := range ends {
+			if e <= 0 {
+				t.Logf("seed %d: stream %d never finished", seed, i)
+				return false
+			}
+			// Lower bound: alone at min(cap, capacity).
+			alone := capacity
+			if caps[i] > 0 && caps[i] < alone {
+				alone = caps[i]
+			}
+			if e < works[i]/alone-1e-9 {
+				t.Logf("seed %d: stream %d finished impossibly fast: %g < %g",
+					seed, i, e, works[i]/alone)
+				return false
+			}
+			if e > last {
+				last = e
+			}
+		}
+		// Capacity bound: the resource can deliver at most capacity
+		// units/s, so the makespan is at least totalWork/capacity.
+		if last < totalWork/capacity-1e-9 {
+			t.Logf("seed %d: makespan %g beats capacity bound %g", seed, last, totalWork/capacity)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDeterminism runs the same randomized scenario twice and
+// demands bit-identical completion times.
+func TestPropertyDeterminism(t *testing.T) {
+	run := func(seed int64) []float64 {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		k := NewKernel()
+		bw := k.NewResource("bw", 10)
+		link := k.NewResource("link", 25)
+		ends := make([]float64, n)
+		for i := 0; i < n; i++ {
+			i := i
+			w := 0.5 + rng.Float64()*5
+			d := rng.Float64()
+			res := bw
+			if i%2 == 1 {
+				res = link
+			}
+			k.Spawn("s", func(a *Actor) {
+				a.Sleep(d)
+				a.Execute(Action{Work: w, Res: res, ResPerUnit: 1})
+				a.Compute(0.1)
+				ends[i] = a.Now()
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return ends
+	}
+	f := func(seed int64) bool {
+		a := run(seed)
+		b := run(seed)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Logf("seed %d: run diverged at %d: %v vs %v", seed, i, a[i], b[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyEqualStreamsFinishTogether: n identical uncapped streams on
+// one resource must all finish at n*work/capacity.
+func TestPropertyEqualStreamsFinishTogether(t *testing.T) {
+	f := func(rawN uint8, rawWork uint16) bool {
+		n := int(rawN%16) + 1
+		work := float64(rawWork%1000)/100 + 0.1
+		k := NewKernel()
+		bw := k.NewResource("bw", 7)
+		ends := make([]float64, n)
+		for i := 0; i < n; i++ {
+			i := i
+			k.Spawn("s", func(a *Actor) {
+				a.Execute(Action{Work: work, Res: bw, ResPerUnit: 1})
+				ends[i] = a.Now()
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		want := float64(n) * work / 7
+		for _, e := range ends {
+			if math.Abs(e-want) > 1e-9*math.Max(1, want) {
+				t.Logf("n=%d work=%g: end %g want %g", n, work, e, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+package vtime
+
+import "fmt"
+
+// Resource is a shared, capacity-limited facility such as the memory
+// bandwidth of a NUMA domain or a network link.  Actions that name a
+// Resource compete for its capacity under equal-allocation water-filling.
+type Resource struct {
+	k        *Kernel
+	name     string
+	capacity float64 // units per virtual second
+
+	// members are the actions currently in their work phase on this
+	// resource, in submission order.
+	members []*Action
+}
+
+// NewResource registers a new shared resource with the kernel.  Capacity is
+// in resource units per virtual second (for example bytes/s for a memory
+// domain) and must be positive.
+func (k *Kernel) NewResource(name string, capacity float64) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("vtime: resource %q: capacity must be positive, got %g", name, capacity))
+	}
+	r := &Resource{k: k, name: name, capacity: capacity}
+	k.resources = append(k.resources, r)
+	return r
+}
+
+// Name returns the diagnostic name of the resource.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the resource capacity in units per virtual second.
+func (r *Resource) Capacity() float64 { return r.capacity }
+
+// SetCapacity changes the capacity of the resource and immediately
+// recomputes the rates of all actions drawing on it.  Call it from actor
+// context or from a Post completion callback (for example to model
+// frequency throttling or a noisy network link); progress up to the current
+// virtual time is settled at the old rates first.
+func (r *Resource) SetCapacity(c float64) {
+	if c <= 0 {
+		panic(fmt.Sprintf("vtime: resource %q: capacity must be positive, got %g", r.name, c))
+	}
+	r.k.resettle(r) // settle progress at the old capacity
+	r.capacity = c
+	r.k.resettle(r)
+}
+
+// Load returns the number of actions currently drawing on the resource.
+func (r *Resource) Load() int { return len(r.members) }
+
+func (r *Resource) attach(a *Action) {
+	r.members = append(r.members, a)
+}
+
+func (r *Resource) detach(a *Action) {
+	for i, m := range r.members {
+		if m == a {
+			r.members = append(r.members[:i], r.members[i+1:]...)
+			return
+		}
+	}
+	panic("vtime: detach of action not attached to resource " + r.name)
+}

@@ -1,0 +1,103 @@
+// Package work defines the cost vocabulary shared by the simulated
+// runtimes, the measurement system and the mini-apps.
+//
+// In the paper, the amount of work between two trace events is estimated by
+// counting OpenMP loop iterations, LLVM basic blocks, LLVM statements or
+// hardware instructions, while the physical duration of the work emerges
+// from the hardware.  Here a Cost carries all of those quantities
+// explicitly: the logical-clock effort models read the count fields, and
+// the machine model derives the physical duration from Flops and Bytes.
+package work
+
+// Cost describes one quantum of computational work.  All fields are
+// float64 so costs can be scaled; the clock models round when they mint
+// integer timestamps.
+type Cost struct {
+	// LoopIters is the number of OpenMP loop iterations in the quantum
+	// (the increment source for the lt_loop effort model).
+	LoopIters float64
+	// BB is the number of LLVM IR basic blocks executed (lt_bb).
+	BB float64
+	// Stmt is the number of LLVM statements executed (lt_stmt).
+	Stmt float64
+	// Instr is the number of CPU instructions retired (lt_hwctr).
+	Instr float64
+	// Calls is the number of instrumented function calls the quantum
+	// stands for.  In the real system every unfiltered function entry and
+	// exit is a trace event: lt_1 advances once per call, and each call
+	// costs the measurement system a fast-path event (plus a counter
+	// read in lt_hwctr mode).  The simulated trace does not materialise
+	// these calls as events — they would dwarf the trace — but they are
+	// counted and priced.
+	Calls float64
+	// Flops is the floating-point work driving the compute-bound part of
+	// the physical duration.
+	Flops float64
+	// Bytes is the memory traffic driving the bandwidth-bound part of the
+	// physical duration and NUMA contention.
+	Bytes float64
+}
+
+// Zero reports whether the cost is entirely empty.
+func (c Cost) Zero() bool {
+	return c == Cost{}
+}
+
+// Add returns the component-wise sum of c and o.
+func (c Cost) Add(o Cost) Cost {
+	return Cost{
+		LoopIters: c.LoopIters + o.LoopIters,
+		BB:        c.BB + o.BB,
+		Stmt:      c.Stmt + o.Stmt,
+		Instr:     c.Instr + o.Instr,
+		Calls:     c.Calls + o.Calls,
+		Flops:     c.Flops + o.Flops,
+		Bytes:     c.Bytes + o.Bytes,
+	}
+}
+
+// Scale returns the cost multiplied component-wise by f.
+func (c Cost) Scale(f float64) Cost {
+	return Cost{
+		LoopIters: c.LoopIters * f,
+		BB:        c.BB * f,
+		Stmt:      c.Stmt * f,
+		Instr:     c.Instr * f,
+		Calls:     c.Calls * f,
+		Flops:     c.Flops * f,
+		Bytes:     c.Bytes * f,
+	}
+}
+
+// PerIter builds the cost of n loop iterations whose per-iteration cost is
+// c, counting n loop iterations.  The LoopIters field of c itself is
+// ignored; it is replaced by n.
+func PerIter(c Cost, n float64) Cost {
+	s := c.Scale(n)
+	s.LoopIters = n
+	return s
+}
+
+// Counts is an accumulator of the countable dimensions of Cost, kept per
+// simulated location.  The effort-model clocks read count deltas from it.
+type Counts struct {
+	LoopIters float64
+	BB        float64
+	Stmt      float64
+	Instr     float64
+	Calls     float64
+	// Bytes mirrors the memory-traffic hardware counters (e.g. DRAM
+	// accesses) that the paper's future work suggests combining with the
+	// instruction counter (§VI-B).
+	Bytes float64
+}
+
+// Accumulate adds the countable parts of a cost.
+func (ct *Counts) Accumulate(c Cost) {
+	ct.LoopIters += c.LoopIters
+	ct.BB += c.BB
+	ct.Stmt += c.Stmt
+	ct.Instr += c.Instr
+	ct.Calls += c.Calls
+	ct.Bytes += c.Bytes
+}

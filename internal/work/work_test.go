@@ -1,0 +1,81 @@
+package work
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZero(t *testing.T) {
+	if !(Cost{}).Zero() {
+		t.Fatal("empty cost should be zero")
+	}
+	if (Cost{Instr: 1}).Zero() {
+		t.Fatal("non-empty cost should not be zero")
+	}
+}
+
+func TestAddAndScale(t *testing.T) {
+	a := Cost{LoopIters: 1, BB: 2, Stmt: 3, Instr: 4, Flops: 5, Bytes: 6}
+	b := Cost{LoopIters: 10, BB: 20, Stmt: 30, Instr: 40, Flops: 50, Bytes: 60}
+	sum := a.Add(b)
+	want := Cost{LoopIters: 11, BB: 22, Stmt: 33, Instr: 44, Flops: 55, Bytes: 66}
+	if sum != want {
+		t.Fatalf("Add = %+v, want %+v", sum, want)
+	}
+	if s := a.Scale(2); s != (Cost{LoopIters: 2, BB: 4, Stmt: 6, Instr: 8, Flops: 10, Bytes: 12}) {
+		t.Fatalf("Scale = %+v", s)
+	}
+}
+
+func TestPerIterSetsLoopIters(t *testing.T) {
+	per := Cost{BB: 3, Stmt: 7, Instr: 20, Flops: 4, Bytes: 48, LoopIters: 99}
+	c := PerIter(per, 10)
+	if c.LoopIters != 10 {
+		t.Fatalf("LoopIters = %g, want 10", c.LoopIters)
+	}
+	if c.BB != 30 || c.Stmt != 70 || c.Instr != 200 || c.Flops != 40 || c.Bytes != 480 {
+		t.Fatalf("PerIter scaled wrong: %+v", c)
+	}
+}
+
+func TestCountsAccumulate(t *testing.T) {
+	var ct Counts
+	ct.Accumulate(Cost{LoopIters: 2, BB: 3, Stmt: 5, Instr: 7, Flops: 11, Bytes: 13})
+	ct.Accumulate(Cost{LoopIters: 1, BB: 1, Stmt: 1, Instr: 1})
+	if ct.LoopIters != 3 || ct.BB != 4 || ct.Stmt != 6 || ct.Instr != 8 {
+		t.Fatalf("Counts = %+v", ct)
+	}
+}
+
+// sanitize maps arbitrary quick-generated values into a well-behaved
+// range so floating-point identities hold exactly.
+func sanitize(c Cost) Cost {
+	fix := func(x float64) float64 {
+		if x != x || x > 1e12 || x < -1e12 {
+			return 1
+		}
+		return x
+	}
+	return Cost{
+		LoopIters: fix(c.LoopIters), BB: fix(c.BB), Stmt: fix(c.Stmt),
+		Instr: fix(c.Instr), Flops: fix(c.Flops), Bytes: fix(c.Bytes),
+	}
+}
+
+// Property: Add is commutative, Scale(1) is the identity, and scaling by a
+// power of two distributes exactly over Add.
+func TestPropertyCostAlgebra(t *testing.T) {
+	f := func(ra, rb Cost) bool {
+		a, b := sanitize(ra), sanitize(rb)
+		if a.Add(b) != b.Add(a) {
+			return false
+		}
+		if a.Scale(1) != a {
+			return false
+		}
+		return a.Add(b).Scale(2) == a.Scale(2).Add(b.Scale(2))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
