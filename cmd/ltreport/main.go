@@ -7,6 +7,7 @@
 //	ltreport -reps 3         # fewer repetitions
 //	ltreport -table 1        # only Table I
 //	ltreport -fig 9          # only Figure 9
+//	ltreport -fault-study MiniFE-1         # fault-resilience table
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/experiment"
+	"repro/internal/faults"
 )
 
 func main() {
@@ -26,11 +28,36 @@ func main() {
 	seed := flag.Int64("seed", 1, "base noise seed")
 	table := flag.Int("table", 0, "regenerate only this table (1 or 2)")
 	fig := flag.Int("fig", 0, "regenerate only this figure (2-9)")
+	faultCfg := flag.String("fault-study", "", "run the fault-resilience study on this configuration and exit")
+	faultSpec := flag.String("faults", "", "fault plan for -fault-study (default: auto-sized one-off delay)")
 	flag.Parse()
 
 	opts := experiment.StudyOptions{Reps: *reps, BaseSeed: *seed}
 	specOpts := experiment.Options{Quick: *quick}
 	w := os.Stdout
+
+	if *faultCfg != "" {
+		spec, err := experiment.SpecByName(*faultCfg, specOpts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var plan faults.Plan
+		if *faultSpec != "" {
+			plan, err = faults.ParseSpec(*faultSpec)
+		} else {
+			plan, err = experiment.DefaultPlanFor(spec, opts)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "running fault study on %s...\n", spec.Name)
+		fs, err := experiment.RunFaultStudy(spec, opts, plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiment.FaultReport(w, fs)
+		return
+	}
 
 	if *table == 0 && *fig == 0 {
 		if err := experiment.FullReport(w, opts, specOpts); err != nil {

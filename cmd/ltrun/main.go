@@ -6,6 +6,7 @@
 //	ltrun -config MiniFE-1 -mode lt_stmt -profile out.cube.json
 //	ltrun -config TeaLeaf-2 -mode tsc -trace out.ltrc -seed 3
 //	ltrun -config LULESH-1 -mode ""        # uninstrumented reference
+//	ltrun -config MiniFE-1 -faults "oneoff:rank=2,at=0.01,delay=0.005"
 //	ltrun -list                            # show configurations
 package main
 
@@ -17,6 +18,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/faults"
+	"repro/internal/measure"
 	"repro/internal/noise"
 )
 
@@ -29,6 +32,8 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink the problem")
 	quiet := flag.Bool("quiet", false, "suppress the profile summary")
 	noNoise := flag.Bool("no-noise", false, "disable all noise sources")
+	faultSpec := flag.String("faults", "",
+		`deterministic fault plan, e.g. "oneoff:rank=2,at=0.01,delay=0.005;straggler:rank=0,factor=1.5"`)
 	traceOut := flag.String("trace", "", "write the binary trace here")
 	profOut := flag.String("profile", "", "write the analysis profile (JSON) here")
 	list := flag.Bool("list", false, "list configurations and exit")
@@ -50,9 +55,28 @@ func main() {
 	if *noNoise {
 		np = noise.Params{}
 	}
-	res, err := experiment.Run(spec, core.Mode(*mode), *seed, np, *profOut != "" || !*quiet)
+	var plan *faults.Plan
+	if *faultSpec != "" {
+		p, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan = &p
+	}
+	var cfg *measure.Config
+	if *mode != "" {
+		c := measure.DefaultConfig(core.Mode(*mode))
+		cfg = &c
+	}
+	res, err := experiment.RunWithOptions(spec, experiment.RunOptions{
+		Cfg: cfg, Seed: *seed, Noise: np, Faults: plan,
+		Analyze: *profOut != "" || !*quiet,
+	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if plan != nil {
+		fmt.Printf("armed faults: %s\n", plan.Describe())
 	}
 	fmt.Printf("%s (%s): wall %.3f s", spec.Name, orRef(*mode), res.Wall)
 	if res.Trace != nil {

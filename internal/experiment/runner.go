@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cube"
+	"repro/internal/faults"
 	"repro/internal/jaccard"
 	"repro/internal/machine"
 	"repro/internal/measure"
@@ -27,6 +28,23 @@ type RunResult struct {
 	Profile *cube.Profile // nil unless analyzed
 }
 
+// RunOptions bundles everything that can vary about one simulated job
+// beyond its Spec.
+type RunOptions struct {
+	// Cfg is the measurement configuration; nil runs uninstrumented.
+	Cfg *measure.Config
+	// Seed seeds the noise model (and fault-plan jitter).
+	Seed int64
+	// Noise selects the noise environment; the zero value is noise-free.
+	Noise noise.Params
+	// Faults is an optional deterministic fault plan armed on the run.
+	Faults *faults.Plan
+	// Analyze runs the trace through the analyzer.
+	Analyze bool
+	// Watchdog bounds the simulation; the zero value runs unbounded.
+	Watchdog vtime.Watchdog
+}
+
 // Run executes one configuration once.  mode "" runs uninstrumented;
 // analyze controls whether the trace is run through the analyzer.
 func Run(spec Spec, mode core.Mode, seed int64, np noise.Params, analyze bool) (*RunResult, error) {
@@ -42,7 +60,15 @@ func Run(spec Spec, mode core.Mode, seed int64, np noise.Params, analyze bool) (
 // runs uninstrumented) — the hook for ablation studies that vary the
 // overhead model, filters or piggyback behaviour.
 func RunWithConfig(spec Spec, cfg *measure.Config, seed int64, np noise.Params, analyze bool) (*RunResult, error) {
+	return RunWithOptions(spec, RunOptions{Cfg: cfg, Seed: seed, Noise: np, Analyze: analyze})
+}
+
+// RunWithOptions is the fully general single-run entry point: an
+// explicit measurement configuration, an optional fault plan, and an
+// optional kernel watchdog.
+func RunWithOptions(spec Spec, o RunOptions) (*RunResult, error) {
 	k := vtime.NewKernel()
+	k.SetWatchdog(o.Watchdog)
 	m := machine.New(k, machine.Jureca(spec.Nodes))
 	var place machine.Placement
 	var err error
@@ -54,16 +80,25 @@ func RunWithConfig(spec Spec, cfg *measure.Config, seed int64, np noise.Params, 
 	if err != nil {
 		return nil, fmt.Errorf("experiment %s: %w", spec.Name, err)
 	}
+	if o.Faults != nil {
+		plan := *o.Faults
+		if plan.Seed == 0 {
+			plan.Seed = o.Seed
+		}
+		if _, err := faults.Arm(k, m, place, plan); err != nil {
+			return nil, fmt.Errorf("experiment %s: %w", spec.Name, err)
+		}
+	}
 	var nm *noise.Model
-	if np != (noise.Params{}) {
-		nm = noise.NewModel(seed, np)
+	if o.Noise != (noise.Params{}) {
+		nm = noise.NewModel(o.Seed, o.Noise)
 	}
 	w := simmpi.NewWorld(k, m, place, simmpi.DefaultConfig(), simomp.DefaultCosts(), nm)
 	var meas *measure.Measurement
 	var mode core.Mode
-	if cfg != nil {
-		mode = cfg.Mode
-		meas = measure.New(*cfg)
+	if o.Cfg != nil {
+		mode = o.Cfg.Mode
+		meas = measure.New(*o.Cfg)
 	}
 	out := &RunResult{
 		Mode:   mode,
@@ -91,7 +126,7 @@ func RunWithConfig(spec Spec, cfg *measure.Config, seed int64, np noise.Params, 
 	}
 	if meas != nil {
 		out.Trace = meas.Trace
-		if analyze {
+		if o.Analyze {
 			prof, err := scalasca.Analyze(meas.Trace)
 			if err != nil {
 				return nil, fmt.Errorf("experiment %s (%s): analysis: %w", spec.Name, mode, err)
@@ -113,6 +148,16 @@ type StudyOptions struct {
 	BaseSeed int64
 	// Modes restricts the timer modes (default: all six).
 	Modes []core.Mode
+	// Faults optionally arms a deterministic fault plan on every
+	// repetition (references included, so overheads stay comparable).
+	Faults *faults.Plan
+	// AnalyzeAll analyzes every repetition even for deterministic
+	// modes — required by studies that measure rep-to-rep stability
+	// under fault injection.
+	AnalyzeAll bool
+	// Watchdog bounds each repetition's simulation; the zero value runs
+	// unbounded.
+	Watchdog vtime.Watchdog
 }
 
 func (o StudyOptions) fill() StudyOptions {
@@ -130,12 +175,63 @@ func (o StudyOptions) fill() StudyOptions {
 }
 
 // Study is the complete result set for one configuration: repeated
-// reference runs plus repeated measured runs per timer mode.
+// reference runs plus repeated measured runs per timer mode.  A study
+// degrades gracefully: repetitions that fail (panic, deadlock, watchdog
+// abort) are retried once with a fresh seed and, if they fail again,
+// recorded in Dropped instead of killing the whole study.
 type Study struct {
-	Spec Spec
-	Opts StudyOptions
-	Refs []*RunResult
-	Runs map[core.Mode][]*RunResult
+	Spec    Spec
+	Opts    StudyOptions
+	Refs    []*RunResult
+	Runs    map[core.Mode][]*RunResult
+	Dropped []DroppedRep
+}
+
+// DroppedRep records one repetition that failed both its primary run and
+// its retry.
+type DroppedRep struct {
+	Mode core.Mode // "" for a reference repetition
+	Rep  int
+	Seed int64
+	Err  string
+}
+
+// retrySeedOffset decorrelates a retried repetition from every planned
+// seed of the study (BaseSeed .. BaseSeed+Reps).
+const retrySeedOffset = 1_000_003
+
+// runIsolated executes one repetition and converts any panic escaping
+// the runner — bad specs, analyzer bugs, kernel misuse outside actor
+// context — into an error, so a single broken repetition cannot kill a
+// multi-repetition study.
+func runIsolated(spec Spec, o RunOptions) (res *RunResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("experiment %s: repetition panicked: %v", spec.Name, r)
+		}
+	}()
+	return RunWithOptions(spec, o)
+}
+
+// runRep is one isolated repetition with the study's retry policy: on
+// failure the repetition is retried once with a fresh seed before being
+// declared dropped.
+func (st *Study) runRep(mode core.Mode, rep int, o RunOptions) *RunResult {
+	res, err := runIsolated(st.Spec, o)
+	if err == nil {
+		return res
+	}
+	retry := o
+	retry.Seed += retrySeedOffset
+	res, err2 := runIsolated(st.Spec, retry)
+	if err2 == nil {
+		return res
+	}
+	st.Dropped = append(st.Dropped, DroppedRep{
+		Mode: mode, Rep: rep, Seed: o.Seed,
+		Err: fmt.Sprintf("%v (retry with seed %d: %v)", err, retry.Seed, err2),
+	})
+	return nil
 }
 
 // RunStudy executes the full protocol of §IV-B for one configuration:
@@ -143,28 +239,49 @@ type Study struct {
 // clock.  The noise-sensitive modes (tsc, lt_hwctr) are measured and
 // analyzed Reps times; the deterministic logical modes are timed Reps
 // times (their wall time is still noisy) but analyzed once, since their
-// traces repeat bit-for-bit.
+// traces repeat bit-for-bit (unless Opts.AnalyzeAll asks for more).
+//
+// Failing repetitions are isolated: each is retried once with a fresh
+// seed, then dropped and reported in Study.Dropped.  RunStudy returns an
+// error only when every single repetition failed.
 func RunStudy(spec Spec, opts StudyOptions) (*Study, error) {
 	opts = opts.fill()
 	st := &Study{Spec: spec, Opts: opts, Runs: make(map[core.Mode][]*RunResult)}
 	for rep := 0; rep < opts.Reps; rep++ {
-		res, err := Run(spec, "", opts.BaseSeed+int64(rep), *opts.Noise, false)
-		if err != nil {
-			return nil, err
+		res := st.runRep("", rep, RunOptions{
+			Seed: opts.BaseSeed + int64(rep), Noise: *opts.Noise,
+			Faults: opts.Faults, Watchdog: opts.Watchdog,
+		})
+		if res != nil {
+			st.Refs = append(st.Refs, res)
 		}
-		st.Refs = append(st.Refs, res)
 	}
 	for _, mode := range opts.Modes {
+		cfg := measure.DefaultConfig(mode)
 		for rep := 0; rep < opts.Reps; rep++ {
-			analyze := rep == 0 || !mode.Deterministic()
-			res, err := Run(spec, mode, opts.BaseSeed+int64(rep), *opts.Noise, analyze)
-			if err != nil {
-				return nil, err
+			analyze := rep == 0 || !mode.Deterministic() || opts.AnalyzeAll
+			res := st.runRep(mode, rep, RunOptions{
+				Cfg: &cfg, Seed: opts.BaseSeed + int64(rep), Noise: *opts.Noise,
+				Faults: opts.Faults, Analyze: analyze, Watchdog: opts.Watchdog,
+			})
+			if res != nil {
+				st.Runs[mode] = append(st.Runs[mode], res)
 			}
-			st.Runs[mode] = append(st.Runs[mode], res)
 		}
 	}
+	if st.completedReps() == 0 {
+		return nil, fmt.Errorf("experiment %s: every repetition failed; first: %s",
+			spec.Name, st.Dropped[0].Err)
+	}
 	return st, nil
+}
+
+func (st *Study) completedReps() int {
+	n := len(st.Refs)
+	for _, rs := range st.Runs {
+		n += len(rs)
+	}
+	return n
 }
 
 // RefWall returns the mean reference wall time.

@@ -1,0 +1,337 @@
+// Package faults is a seeded, deterministic fault-injection layer over
+// the vtime kernel, the machine model and the simmpi runtime.  Where
+// internal/noise models the *steady-state* disturbances of a busy cluster
+// (OS detours, jitter, clock drift), faults models *discrete* events:
+//
+//   - one-off rank delays at a given virtual time — the experiment of
+//     Afzal et al. ("Propagation and Decay of Injected One-Off Delays on
+//     Clusters"), whose propagation through the job is exactly the
+//     wait-state pattern Scalasca measures;
+//   - sustained straggler ranks (a degraded core-speed coefficient);
+//   - transient NUMA or network-link bandwidth collapse windows;
+//   - hardware-counter glitches that corrupt lt_hwctr read-outs without
+//     touching timing.
+//
+// A Plan is declarative and, like internal/noise, reproducible per
+// (config, seed): arming the same plan twice yields byte-identical
+// simulations.  Faults perturb only *physical* execution — durations,
+// bandwidths, counter read-outs — never the application's code path, so
+// pure logical clocks (lt_1 … lt_stmt) must record bit-identical traces
+// with and without a plan.  That invariant is the repository's first
+// result beyond the paper and is asserted by tests.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind names a fault class.
+type Kind string
+
+// The supported fault kinds.
+const (
+	// OneOffDelay stalls a rank's master core once: the first compute
+	// quantum starting at or after At is extended by Delay seconds.
+	OneOffDelay Kind = "oneoff"
+	// Straggler multiplies the CPU time of every quantum on the rank's
+	// cores by Factor (> 1) inside [At, At+Duration); Duration 0 means
+	// until the job ends.
+	Straggler Kind = "straggler"
+	// LinkDegrade collapses a node's network-adapter bandwidth to
+	// Factor (0..1] of its capacity inside [At, At+Duration).
+	LinkDegrade Kind = "linkdown"
+	// MemDegrade collapses a NUMA domain's DRAM bandwidth to Factor
+	// (0..1] of its capacity inside [At, At+Duration).
+	MemDegrade Kind = "membw"
+	// CtrGlitch inflates the hardware instruction-counter read-out of
+	// quanta on the rank's cores by Factor (relative over-count) inside
+	// [At, At+Duration); Duration 0 means until the job ends.
+	CtrGlitch Kind = "ctrglitch"
+)
+
+// Fault is one injected fault.  Which fields matter depends on Kind; see
+// the Kind constants.
+type Fault struct {
+	Kind Kind
+	// Rank targets OneOffDelay, Straggler and CtrGlitch.
+	Rank int
+	// Node targets LinkDegrade.
+	Node int
+	// Domain targets MemDegrade (global NUMA domain index).
+	Domain int
+	// At is the virtual time, in seconds, the fault begins.
+	At float64
+	// Duration bounds window faults; see the Kind constants for the
+	// meaning of zero.
+	Duration float64
+	// Delay is the injected one-off delay in seconds (OneOffDelay).
+	Delay float64
+	// Factor is the straggler slowdown (> 1), the capacity fraction of a
+	// bandwidth collapse (0..1], or the counter over-count fraction
+	// (> 0).
+	Factor float64
+}
+
+// Plan is a declarative set of faults for one run.  Seed and Jitter
+// optionally perturb every fault's start time by a deterministic uniform
+// draw in [-Jitter, +Jitter] seconds, so a study can decorrelate fault
+// phases across repetitions the way internal/noise decorrelates noise —
+// the draw depends only on (Seed, fault index), never on simulation
+// state.
+type Plan struct {
+	Seed   int64
+	Jitter float64
+	Faults []Fault
+}
+
+// Empty reports whether the plan injects nothing.
+func (p Plan) Empty() bool { return len(p.Faults) == 0 }
+
+// startTime returns fault i's effective start time under the plan's
+// seeded jitter, clamped to be non-negative.
+func (p Plan) startTime(i int) float64 {
+	f := p.Faults[i]
+	at := f.At
+	if p.Jitter > 0 {
+		// splitmix-style mixing, matching internal/noise's stream
+		// decorrelation idiom.
+		s := uint64(p.Seed)*0x9e3779b97f4a7c15 + uint64(i+1)*0xbf58476d1ce4e5b9
+		rng := rand.New(rand.NewSource(int64(s)))
+		at += (2*rng.Float64() - 1) * p.Jitter
+	}
+	if at < 0 {
+		at = 0
+	}
+	return at
+}
+
+// Validate checks the plan against a job shape: ranks in the world, nodes
+// and NUMA domains in the allocation.
+func (p Plan) Validate(ranks, nodes, domains int) error {
+	if p.Jitter < 0 {
+		return fmt.Errorf("faults: negative jitter %g", p.Jitter)
+	}
+	for i, f := range p.Faults {
+		if err := f.validate(ranks, nodes, domains); err != nil {
+			return fmt.Errorf("faults: fault %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (f Fault) validate(ranks, nodes, domains int) error {
+	if f.At < 0 {
+		return fmt.Errorf("%s: negative start time %g", f.Kind, f.At)
+	}
+	if f.Duration < 0 {
+		return fmt.Errorf("%s: negative duration %g", f.Kind, f.Duration)
+	}
+	checkRank := func() error {
+		if f.Rank < 0 || f.Rank >= ranks {
+			return fmt.Errorf("%s: rank %d out of range [0,%d)", f.Kind, f.Rank, ranks)
+		}
+		return nil
+	}
+	switch f.Kind {
+	case OneOffDelay:
+		if f.Delay <= 0 {
+			return fmt.Errorf("oneoff: delay %g must be positive", f.Delay)
+		}
+		return checkRank()
+	case Straggler:
+		if f.Factor <= 1 {
+			return fmt.Errorf("straggler: factor %g must exceed 1", f.Factor)
+		}
+		return checkRank()
+	case LinkDegrade:
+		if f.Node < 0 || f.Node >= nodes {
+			return fmt.Errorf("linkdown: node %d out of range [0,%d)", f.Node, nodes)
+		}
+		if f.Factor <= 0 || f.Factor > 1 {
+			return fmt.Errorf("linkdown: capacity fraction %g out of (0,1]", f.Factor)
+		}
+		if f.Duration == 0 {
+			return fmt.Errorf("linkdown: window needs a positive duration")
+		}
+		return nil
+	case MemDegrade:
+		if f.Domain < 0 || f.Domain >= domains {
+			return fmt.Errorf("membw: domain %d out of range [0,%d)", f.Domain, domains)
+		}
+		if f.Factor <= 0 || f.Factor > 1 {
+			return fmt.Errorf("membw: capacity fraction %g out of (0,1]", f.Factor)
+		}
+		if f.Duration == 0 {
+			return fmt.Errorf("membw: window needs a positive duration")
+		}
+		return nil
+	case CtrGlitch:
+		if f.Factor <= 0 {
+			return fmt.Errorf("ctrglitch: over-count fraction %g must be positive", f.Factor)
+		}
+		return checkRank()
+	}
+	return fmt.Errorf("unknown fault kind %q", f.Kind)
+}
+
+// String renders the plan in the ParseSpec grammar.
+func (p Plan) String() string {
+	parts := make([]string, len(p.Faults))
+	for i, f := range p.Faults {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// String renders one fault in the ParseSpec grammar.
+func (f Fault) String() string {
+	kv := []string{}
+	add := func(k string, v float64) { kv = append(kv, fmt.Sprintf("%s=%g", k, v)) }
+	switch f.Kind {
+	case OneOffDelay:
+		add("rank", float64(f.Rank))
+		add("at", f.At)
+		add("delay", f.Delay)
+	case Straggler:
+		add("rank", float64(f.Rank))
+		add("factor", f.Factor)
+		if f.At > 0 {
+			add("at", f.At)
+		}
+		if f.Duration > 0 {
+			add("dur", f.Duration)
+		}
+	case LinkDegrade:
+		add("node", float64(f.Node))
+		add("at", f.At)
+		add("dur", f.Duration)
+		add("factor", f.Factor)
+	case MemDegrade:
+		add("domain", float64(f.Domain))
+		add("at", f.At)
+		add("dur", f.Duration)
+		add("factor", f.Factor)
+	case CtrGlitch:
+		add("rank", float64(f.Rank))
+		add("factor", f.Factor)
+		if f.At > 0 {
+			add("at", f.At)
+		}
+		if f.Duration > 0 {
+			add("dur", f.Duration)
+		}
+	}
+	return string(f.Kind) + ":" + strings.Join(kv, ",")
+}
+
+// ParseSpec parses the command-line fault grammar: semicolon-separated
+// faults, each "kind:key=value,key=value".  Example:
+//
+//	oneoff:rank=3,at=0.002,delay=0.001;straggler:rank=0,factor=1.5
+//
+// Recognised keys are rank, node, domain, at, dur, delay and factor.
+// The result is not validated against a job shape; call Plan.Validate
+// once ranks/nodes/domains are known.
+func ParseSpec(spec string) (Plan, error) {
+	var p Plan
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, args, ok := strings.Cut(part, ":")
+		if !ok {
+			return Plan{}, fmt.Errorf("faults: %q: want kind:key=value,...", part)
+		}
+		f := Fault{Kind: Kind(strings.TrimSpace(kind))}
+		switch f.Kind {
+		case OneOffDelay, Straggler, LinkDegrade, MemDegrade, CtrGlitch:
+		default:
+			return Plan{}, fmt.Errorf("faults: unknown fault kind %q (want %s)", kind,
+				strings.Join([]string{string(OneOffDelay), string(Straggler), string(LinkDegrade), string(MemDegrade), string(CtrGlitch)}, ", "))
+		}
+		for _, kvs := range strings.Split(args, ",") {
+			kvs = strings.TrimSpace(kvs)
+			if kvs == "" {
+				continue
+			}
+			key, val, ok := strings.Cut(kvs, "=")
+			if !ok {
+				return Plan{}, fmt.Errorf("faults: %q: want key=value", kvs)
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+			if err != nil {
+				return Plan{}, fmt.Errorf("faults: %s: bad value %q", key, val)
+			}
+			switch strings.TrimSpace(key) {
+			case "rank":
+				f.Rank = int(v)
+			case "node":
+				f.Node = int(v)
+			case "domain":
+				f.Domain = int(v)
+			case "at":
+				f.At = v
+			case "dur":
+				f.Duration = v
+			case "delay":
+				f.Delay = v
+			case "factor":
+				f.Factor = v
+			default:
+				return Plan{}, fmt.Errorf("faults: unknown key %q in %q", key, part)
+			}
+		}
+		p.Faults = append(p.Faults, f)
+	}
+	return p, nil
+}
+
+// AfzalPlan builds the canonical one-off-delay experiment: a single
+// injected delay on one rank, the setup of Afzal et al. whose
+// propagation and decay through the job the analyzer should attribute as
+// wait states.  The target defaults to the middle rank so the delay has
+// neighbours on both sides to propagate into.
+func AfzalPlan(ranks int, at, delay float64) Plan {
+	return Plan{Faults: []Fault{{
+		Kind:  OneOffDelay,
+		Rank:  ranks / 2,
+		At:    at,
+		Delay: delay,
+	}}}
+}
+
+// Describe returns a short human-readable summary, ordered by start
+// time, for run banners and reports.
+func (p Plan) Describe() string {
+	if p.Empty() {
+		return "no faults"
+	}
+	idx := make([]int, len(p.Faults))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return p.startTime(idx[a]) < p.startTime(idx[b]) })
+	parts := make([]string, len(idx))
+	for n, i := range idx {
+		f := p.Faults[i]
+		at := p.startTime(i)
+		switch f.Kind {
+		case OneOffDelay:
+			parts[n] = fmt.Sprintf("one-off +%gs on rank %d at t=%g", f.Delay, f.Rank, at)
+		case Straggler:
+			parts[n] = fmt.Sprintf("straggler x%g on rank %d", f.Factor, f.Rank)
+		case LinkDegrade:
+			parts[n] = fmt.Sprintf("nic%d at %.0f%% capacity for %gs at t=%g", f.Node, 100*f.Factor, f.Duration, at)
+		case MemDegrade:
+			parts[n] = fmt.Sprintf("numa%d at %.0f%% capacity for %gs at t=%g", f.Domain, 100*f.Factor, f.Duration, at)
+		case CtrGlitch:
+			parts[n] = fmt.Sprintf("hwctr +%.0f%% over-count on rank %d", 100*f.Factor, f.Rank)
+		}
+	}
+	return strings.Join(parts, "; ")
+}

@@ -1,0 +1,140 @@
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/vtime"
+)
+
+// Injector is a Plan bound to one run.  It implements
+// machine.FaultInjector for the compute and counter faults and schedules
+// the bandwidth-collapse windows on the kernel.  Like the rest of the
+// simulation it is single-threaded: the vtime kernel runs one actor at a
+// time, so the mutable one-off state needs no locking.
+type Injector struct {
+	plan Plan
+
+	oneoffs  map[machine.CoreID][]*oneoffState
+	slowdown map[machine.CoreID][]window // straggler windows, factor > 1
+	glitch   map[machine.CoreID][]window // counter over-count windows
+}
+
+type oneoffState struct {
+	at    float64
+	delay float64
+	fired bool
+}
+
+type window struct {
+	from, to float64 // to == +inf for open-ended faults
+	factor   float64
+}
+
+func (w window) active(now float64) bool { return now >= w.from && now < w.to }
+
+const foreverT = 1e308 // effectively +inf in virtual seconds
+
+// Arm validates the plan against the machine and placement, installs the
+// compute/counter injector on the machine, and schedules the bandwidth
+// collapse windows on the kernel.  Call it after building the machine and
+// placement and before Kernel.Run.  An empty plan arms nothing and
+// returns a nil Injector.
+func Arm(k *vtime.Kernel, m *machine.Machine, place machine.Placement, p Plan) (*Injector, error) {
+	if p.Empty() {
+		return nil, nil
+	}
+	if err := p.Validate(place.Ranks, m.Cfg.Nodes, m.Cfg.TotalDomains()); err != nil {
+		return nil, err
+	}
+	inj := &Injector{
+		plan:     p,
+		oneoffs:  make(map[machine.CoreID][]*oneoffState),
+		slowdown: make(map[machine.CoreID][]window),
+		glitch:   make(map[machine.CoreID][]window),
+	}
+	rankCores := func(r int) []machine.CoreID {
+		cores := make([]machine.CoreID, place.ThreadsPerRank)
+		for t := range cores {
+			cores[t] = place.Core(r, t)
+		}
+		return cores
+	}
+	for i, f := range p.Faults {
+		at := p.startTime(i)
+		to := foreverT
+		if f.Duration > 0 {
+			to = at + f.Duration
+		}
+		switch f.Kind {
+		case OneOffDelay:
+			// The delay lands on the rank's master core only: the Afzal
+			// experiment stalls one process, and worker threads then
+			// inherit the delay through fork/join.
+			c := place.Core(f.Rank, 0)
+			inj.oneoffs[c] = append(inj.oneoffs[c], &oneoffState{at: at, delay: f.Delay})
+		case Straggler:
+			for _, c := range rankCores(f.Rank) {
+				inj.slowdown[c] = append(inj.slowdown[c], window{from: at, to: to, factor: f.Factor})
+			}
+		case CtrGlitch:
+			for _, c := range rankCores(f.Rank) {
+				inj.glitch[c] = append(inj.glitch[c], window{from: at, to: to, factor: f.Factor})
+			}
+		case LinkDegrade:
+			armCapacityWindow(k, m.NIC(f.Node), at, at+f.Duration, f.Factor)
+		case MemDegrade:
+			armCapacityWindow(k, m.Domain(f.Domain), at, at+f.Duration, f.Factor)
+		default:
+			return nil, fmt.Errorf("faults: unknown fault kind %q", f.Kind)
+		}
+	}
+	m.SetFaults(inj)
+	return inj, nil
+}
+
+// armCapacityWindow schedules a transient capacity collapse on a shared
+// resource: at `from` the capacity drops to fraction*nominal, at `to` it
+// recovers.  The restore uses the capacity recorded at arm time, so
+// overlapping windows on one resource recover to nominal when the last
+// one ends.
+func armCapacityWindow(k *vtime.Kernel, res *vtime.Resource, from, to, fraction float64) {
+	nominal := res.Capacity()
+	k.Post(vtime.Action{Delay: from}, func() {
+		res.SetCapacity(nominal * fraction)
+	})
+	k.Post(vtime.Action{Delay: to}, func() {
+		res.SetCapacity(nominal)
+	})
+}
+
+// Plan returns the armed plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// ComputeFault implements machine.FaultInjector.
+func (in *Injector) ComputeFault(c machine.CoreID, now, base float64) (delay, slow float64) {
+	slow = 1
+	for _, w := range in.slowdown[c] {
+		if w.active(now) {
+			slow *= w.factor
+		}
+	}
+	for _, o := range in.oneoffs[c] {
+		if !o.fired && now >= o.at {
+			o.fired = true
+			delay += o.delay
+		}
+	}
+	return delay, slow
+}
+
+// CounterGlitch implements machine.FaultInjector.
+func (in *Injector) CounterGlitch(c machine.CoreID, now, instr float64) float64 {
+	var extra float64
+	for _, w := range in.glitch[c] {
+		if w.active(now) {
+			extra += instr * w.factor
+		}
+	}
+	return extra
+}

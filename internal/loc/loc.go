@@ -52,6 +52,14 @@ func (l *Location) Work(c work.Cost) {
 // effort, so the logical clocks do not see them.
 func (l *Location) WorkOverhead(c work.Cost, extraInstr float64) {
 	l.Counts.Accumulate(c)
+	if f := l.M.Faults(); f != nil {
+		// A hardware-counter glitch inflates the instruction read-out the
+		// counter-based clocks see, without touching timing or the effort
+		// dimensions the pure logical clocks count.
+		if g := f.CounterGlitch(l.Core, l.Actor.Now(), c.Instr); g > 0 {
+			l.Counts.Instr += g
+		}
+	}
 	exec := c
 	exec.Instr += extraInstr
 	l.M.Exec(l.Actor, l.Core, exec, l.Noise)

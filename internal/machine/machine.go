@@ -26,7 +26,35 @@ type Machine struct {
 	nics    []*vtime.Resource // network adapter per node
 	shm     []*vtime.Resource // intra-node transport per node
 	ws      []float64         // registered working set per domain, bytes
+	faults  FaultInjector
 }
+
+// FaultInjector is the hook through which a fault-injection layer
+// (internal/faults) perturbs execution.  Unlike internal/noise, which
+// models steady-state statistical disturbances, an injector models
+// discrete faults — one-off delays, sustained stragglers, counter
+// glitches — and must be fully deterministic so that faulted runs stay
+// reproducible per (config, seed, plan).
+type FaultInjector interface {
+	// ComputeFault is consulted for every compute quantum on core c
+	// starting at virtual time now with unperturbed duration base.  It
+	// returns an extra delay in seconds (one-off fault injections) and a
+	// multiplicative slowdown >= 1 on the quantum's CPU time (straggler
+	// cores).
+	ComputeFault(c CoreID, now, base float64) (delay, slow float64)
+	// CounterGlitch returns spurious hardware-counter instructions to
+	// add to the read-out of a quantum that executed instr instructions
+	// on core c at time now.  Glitches corrupt only counter-based clocks
+	// (lt_hwctr); they never change timing.
+	CounterGlitch(c CoreID, now, instr float64) float64
+}
+
+// SetFaults installs a fault injector; nil removes it.  Call before the
+// simulation starts.
+func (m *Machine) SetFaults(f FaultInjector) { m.faults = f }
+
+// Faults returns the installed fault injector, or nil.
+func (m *Machine) Faults() FaultInjector { return m.faults }
 
 // New creates the machine's resources on the given kernel.
 func New(k *vtime.Kernel, cfg Config) *Machine {
@@ -133,6 +161,18 @@ func (m *Machine) Exec(a *vtime.Actor, c CoreID, cost work.Cost, src *noise.Sour
 				cpu = 0
 			}
 			detour = 0
+		}
+	}
+	if m.faults != nil {
+		// Faults apply after noise so the noise streams draw exactly the
+		// same sequence with and without a fault plan: injection changes
+		// timing, never the per-location randomness.
+		fd, slow := m.faults.ComputeFault(c, a.Now(), cpu)
+		if slow > 1 {
+			cpu *= slow
+		}
+		if fd > 0 {
+			detour += fd
 		}
 	}
 	if cpu <= 0 && missBytes <= 0 {

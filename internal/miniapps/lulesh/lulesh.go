@@ -90,7 +90,9 @@ func Run(r *measure.Rank, cfg Config) Result {
 	ranks := r.Size()
 	c, err := CubeSide(ranks)
 	if err != nil {
-		panic(err)
+		// String panics match the other mini-apps and read cleanly in the
+		// kernel's actor-failure report.
+		panic(err.Error())
 	}
 	me := r.Rank()
 	ci, cj, ck := rankCoords(me, c)

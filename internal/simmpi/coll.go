@@ -41,6 +41,8 @@ type Comm struct {
 
 type collSlot struct {
 	kind      CollKind
+	opener    int   // world rank that opened the slot (first caller)
+	callers   []int // world ranks that have called into the slot so far
 	cond      *vtime.Cond
 	arrived   int
 	exited    int
@@ -95,11 +97,14 @@ func (c *Comm) slotFor(p *Proc, kind CollKind) *collSlot {
 	p.collSeq[c] = seq + 1
 	s, ok := c.slots[seq]
 	if !ok {
-		s = &collSlot{kind: kind, cond: c.w.K.NewCond(fmt.Sprintf("coll-%s-%d", kind, seq))}
+		s = &collSlot{kind: kind, opener: p.Rank, cond: c.w.K.NewCond(fmt.Sprintf("coll-%s-%d", kind, seq))}
 		c.slots[seq] = s
 	} else if s.kind != kind {
-		panic(fmt.Sprintf("simmpi: collective mismatch at seq %d: %s vs %s", seq, s.kind, kind))
+		panic(fmt.Sprintf(
+			"simmpi: collective mismatch at seq %d on %d-rank communicator: rank %d calls %s, but rank %d opened this operation as %s (ranks arrived so far: %v)",
+			seq, len(c.ranks), p.Rank, kind, s.opener, s.kind, s.callers))
 	}
+	s.callers = append(s.callers, p.Rank)
 	// Opportunistic cleanup of fully-exited older slots.
 	if s.arrived == 0 {
 		for old, os := range c.slots {

@@ -1,0 +1,49 @@
+package simmpi
+
+import (
+	"strings"
+	"testing"
+)
+
+// A collective mismatch must abort with a diagnostic that names the
+// offending rank, the rank that opened the operation, both region names,
+// and who had already arrived — enough to find the divergent call site
+// without a debugger.
+func TestCollectiveMismatchDiagnostic(t *testing.T) {
+	k, _ := buildJob(t, 2, func(p *Proc) {
+		if p.Rank == 0 {
+			p.W.CommWorld().Barrier(p, 0)
+		} else {
+			p.W.CommWorld().Allreduce(p, []float64{1}, OpSum, 0)
+		}
+	})
+	err := k.Run()
+	if err == nil {
+		t.Fatal("mismatched collectives completed without error")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"collective mismatch",
+		"seq 0",
+		"2-rank communicator",
+		"rank 1 calls MPI_Allreduce",
+		"rank 0 opened this operation as MPI_Barrier",
+		"arrived so far: [0]",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("diagnostic missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+// Matching collectives must not trip the mismatch check even when slots
+// are reused across many sequence numbers.
+func TestMatchingCollectivesAcrossSeqs(t *testing.T) {
+	job(t, 3, func(p *Proc) {
+		c := p.W.CommWorld()
+		for i := 0; i < 4; i++ {
+			c.Barrier(p, 0)
+			c.Allreduce(p, []float64{float64(p.Rank)}, OpSum, 0)
+		}
+	})
+}

@@ -3,9 +3,15 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 )
+
+// ErrTruncated reports a trace file that ends mid-stream.  Errors from
+// Read wrap it, so callers can distinguish a cut-off file (retry, rerun)
+// from a corrupt one (bad magic, wrong version, implausible counts).
+var ErrTruncated = errors.New("trace: truncated event stream")
 
 // Binary trace format (all integers varint-encoded unless noted):
 //
@@ -102,102 +108,150 @@ func (t *Trace) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Read deserialises a trace written by Write.
+// Sanity caps for count fields: a corrupted varint must fail with a
+// clear error instead of a multi-gigabyte allocation.
+const (
+	maxStringLen = 1 << 20
+	maxRegions   = 1 << 20
+	maxLocations = 1 << 24
+)
+
+// fail attaches the section being decoded to a low-level read error and
+// maps end-of-input onto ErrTruncated, so every failure names where in
+// the stream the file gave out.
+func fail(section string, err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w while reading %s", ErrTruncated, section)
+	}
+	return fmt.Errorf("trace: reading %s: %w", section, err)
+}
+
+// Read deserialises a trace written by Write.  It fails with a precise
+// diagnostic — bad magic, unsupported version, implausible count, or an
+// ErrTruncated-wrapped error naming the section where the stream ended —
+// and never panics or over-allocates on corrupt input.
 func Read(r io.Reader) (*Trace, error) {
 	br := bufio.NewReader(r)
 	head := make([]byte, 4)
 	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+		return nil, fail("magic", err)
 	}
 	if string(head) != magic {
-		return nil, fmt.Errorf("trace: bad magic %q", head)
+		return nil, fmt.Errorf("trace: bad magic %q (not an LTRC trace)", head)
 	}
-	getU := func() (uint64, error) { return binary.ReadUvarint(br) }
-	getI := func() (int64, error) { return binary.ReadVarint(br) }
-	getS := func() (string, error) {
-		n, err := getU()
+	getU := func(section string) (uint64, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fail(section, err)
+		}
+		return v, nil
+	}
+	getI := func(section string) (int64, error) {
+		v, err := binary.ReadVarint(br)
+		if err != nil {
+			return 0, fail(section, err)
+		}
+		return v, nil
+	}
+	getS := func(section string) (string, error) {
+		n, err := getU(section + " length")
 		if err != nil {
 			return "", err
 		}
-		if n > 1<<20 {
-			return "", fmt.Errorf("trace: implausible string length %d", n)
+		if n > maxStringLen {
+			return "", fmt.Errorf("trace: implausible %s length %d", section, n)
 		}
 		b := make([]byte, n)
 		if _, err := io.ReadFull(br, b); err != nil {
-			return "", err
+			return "", fail(section, err)
 		}
 		return string(b), nil
 	}
-	ver, err := getU()
+	ver, err := getU("version")
 	if err != nil {
 		return nil, err
 	}
 	if ver != formatVersion {
-		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+		return nil, fmt.Errorf("trace: unsupported version %d (this reader handles version %d)", ver, formatVersion)
 	}
-	clock, err := getS()
+	clock, err := getS("clock name")
 	if err != nil {
 		return nil, err
 	}
 	t := New(clock)
-	nreg, err := getU()
+	nreg, err := getU("region count")
 	if err != nil {
 		return nil, err
 	}
+	if nreg > maxRegions {
+		return nil, fmt.Errorf("trace: implausible region count %d", nreg)
+	}
 	for i := uint64(0); i < nreg; i++ {
-		name, err := getS()
+		section := fmt.Sprintf("region %d/%d", i+1, nreg)
+		name, err := getS(section + " name")
 		if err != nil {
 			return nil, err
 		}
 		role, err := br.ReadByte()
 		if err != nil {
-			return nil, err
+			return nil, fail(section+" role", err)
 		}
 		t.Region(name, Role(role))
 	}
-	nloc, err := getU()
+	nloc, err := getU("location count")
 	if err != nil {
 		return nil, err
 	}
+	if nloc > maxLocations {
+		return nil, fmt.Errorf("trace: implausible location count %d", nloc)
+	}
 	for i := uint64(0); i < nloc; i++ {
-		rank, err := getU()
+		section := fmt.Sprintf("location %d/%d header", i+1, nloc)
+		rank, err := getU(section)
 		if err != nil {
 			return nil, err
 		}
-		thread, err := getU()
+		thread, err := getU(section)
 		if err != nil {
 			return nil, err
 		}
-		nev, err := getU()
+		nev, err := getU(section)
 		if err != nil {
 			return nil, err
 		}
 		li := t.AddLocation(int(rank), int(thread))
-		t.Locs[li].Events = make([]Event, 0, nev)
+		// Grow-as-you-go above a modest floor: the event count in a
+		// corrupt header must not size the allocation.
+		capHint := nev
+		if capHint > 1<<16 {
+			capHint = 1 << 16
+		}
+		t.Locs[li].Events = make([]Event, 0, capHint)
 		prev := uint64(0)
 		for j := uint64(0); j < nev; j++ {
+			section := fmt.Sprintf("event %d/%d of location %d/%d", j+1, nev, i+1, nloc)
 			kind, err := br.ReadByte()
 			if err != nil {
-				return nil, err
+				return nil, fail(section, err)
 			}
-			dt, err := getU()
+			dt, err := getU(section)
 			if err != nil {
 				return nil, err
 			}
 			prev += dt
-			reg, err := getU()
+			reg, err := getU(section)
 			if err != nil {
 				return nil, err
 			}
-			a, err := getI()
+			a, err := getI(section)
 			if err != nil {
 				return nil, err
 			}
-			b, err := getI()
+			b, err := getI(section)
 			if err != nil {
 				return nil, err
 			}
-			c, err := getI()
+			c, err := getI(section)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Every proper prefix of a valid trace must fail with ErrTruncated and a
+// section name — never a panic, never a silently short trace.
+func TestReadTruncationAtEveryOffset(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for n := 0; n < len(whole); n++ {
+		_, err := Read(bytes.NewReader(whole[:n]))
+		if err == nil {
+			t.Fatalf("prefix of %d/%d bytes parsed as a complete trace", n, len(whole))
+		}
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("prefix of %d bytes: got %v, want ErrTruncated", n, err)
+		}
+		if !strings.Contains(err.Error(), "while reading") {
+			t.Fatalf("prefix of %d bytes: error names no section: %v", n, err)
+		}
+	}
+}
+
+func TestReadCorruptionDiagnostics(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	// header builds a minimal stream by hand: magic, version, clock name,
+	// then whatever raw bytes the case wants to probe.
+	uvarint := func(v uint64) []byte {
+		var b [binary.MaxVarintLen64]byte
+		return b[:binary.PutUvarint(b[:], v)]
+	}
+	header := func(tail ...byte) []byte {
+		s := []byte(magic)
+		s = append(s, uvarint(formatVersion)...)
+		s = append(s, uvarint(0)...) // empty clock name
+		return append(s, tail...)
+	}
+
+	cases := []struct {
+		name  string
+		input []byte
+		want  string // substring of the expected error
+	}{
+		{
+			name:  "flipped magic byte",
+			input: append([]byte{valid[0] ^ 0xff}, valid[1:]...),
+			want:  "bad magic",
+		},
+		{
+			name:  "future version",
+			input: append([]byte(magic), uvarint(formatVersion+1)...),
+			want:  "unsupported version 2",
+		},
+		{
+			name:  "implausible clock-name length",
+			input: append([]byte(magic), append(uvarint(formatVersion), uvarint(1<<40)...)...),
+			want:  "implausible clock name length",
+		},
+		{
+			name:  "implausible region count",
+			input: header(uvarint(1 << 40)...),
+			want:  "implausible region count",
+		},
+		{
+			name:  "implausible location count",
+			input: header(append(uvarint(0), uvarint(1<<40)...)...),
+			want:  "implausible location count",
+		},
+		{
+			name: "huge event count with no events",
+			// 0 regions, 1 location (rank 0, thread 0) claiming 2^40
+			// events: must fail fast on the missing first event instead
+			// of allocating for the claimed count.
+			input: header(append(append(append(append(
+				uvarint(0), uvarint(1)...), uvarint(0)...), uvarint(0)...), uvarint(1<<40)...)...),
+			want: "truncated event stream while reading event 1",
+		},
+		{
+			name:  "empty input",
+			input: nil,
+			want:  "truncated event stream while reading magic",
+		},
+	}
+	for _, tc := range cases {
+		_, err := Read(bytes.NewReader(tc.input))
+		if err == nil {
+			t.Errorf("%s: corrupt input accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// Trailing garbage after a structurally complete stream is ignored (the
+// format is self-delimiting), but corrupting a mid-stream count byte must
+// surface as an error rather than skewed events.
+func TestReadSelfDelimiting(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(append(buf.Bytes(), "trailing junk"...)))
+	if err != nil {
+		t.Fatalf("trailing bytes broke the read: %v", err)
+	}
+	if got.NumEvents() != sample().NumEvents() {
+		t.Fatalf("trailing bytes changed the event count: %d", got.NumEvents())
+	}
+}

@@ -12,6 +12,12 @@ type Actor struct {
 	resume chan struct{}
 	done   bool
 	status string
+
+	// waitingOn and blockedAt feed the kernel's wait-graph diagnostic:
+	// the condition the actor is currently blocked on (nil when
+	// runnable or executing an action) and the virtual time it blocked.
+	waitingOn *Cond
+	blockedAt float64
 }
 
 // ID returns the kernel-wide actor index, assigned in spawn order.

@@ -25,7 +25,10 @@ func (k *Kernel) NewCond(name string) *Cond {
 func (c *Cond) Wait(a *Actor) {
 	c.waiters = append(c.waiters, a)
 	a.status = "waiting on " + c.name
+	a.waitingOn = c
+	a.blockedAt = c.k.now
 	a.yield()
+	a.waitingOn = nil
 }
 
 // Signal wakes the longest-waiting actor, if any.  It reports whether an

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"strings"
+	"time"
 )
 
 // Kernel is the central scheduler of a virtual-time simulation.  Create one
@@ -22,6 +23,58 @@ type Kernel struct {
 	steps     uint64
 	completed uint64
 	failure   error
+	watchdog  Watchdog
+	wallStart time.Time
+}
+
+// Watchdog bounds a simulation run.  A zero field disables that limit;
+// the zero Watchdog disables all of them.  When any budget is exhausted,
+// Run aborts with a *WatchdogError carrying a wait-graph snapshot instead
+// of spinning or hanging — the defence against livelocked or runaway
+// simulations that the study harness relies on.
+type Watchdog struct {
+	// MaxSteps bounds the number of scheduling steps (virtual-time
+	// advances).  A livelocked simulation that keeps scheduling actions
+	// without finishing trips this first.
+	MaxSteps uint64
+	// MaxVirtual bounds the virtual time, in seconds.
+	MaxVirtual float64
+	// MaxWall bounds the host wall-clock time spent inside Run.  It is
+	// checked once per scheduling step, so an actor stuck in host code
+	// without yielding is not caught (nothing inside the kernel runs
+	// then).
+	MaxWall time.Duration
+}
+
+// SetWatchdog installs the run budget.  Call before Run.
+func (k *Kernel) SetWatchdog(w Watchdog) { k.watchdog = w }
+
+// WatchdogError reports an aborted simulation with a structured snapshot
+// of where every actor was stuck when the budget ran out.
+type WatchdogError struct {
+	Reason    string  // which budget tripped
+	Steps     uint64  // scheduling steps executed
+	Completed uint64  // actions completed
+	Now       float64 // virtual time at abort
+	WaitGraph string  // per-actor blocking snapshot
+}
+
+func (e *WatchdogError) Error() string {
+	return fmt.Sprintf("vtime: watchdog: %s at t=%g after %d steps (%d actions completed)\n%s",
+		e.Reason, e.Now, e.Steps, e.Completed, e.WaitGraph)
+}
+
+// DeadlockError reports a simulation in which live actors remain but no
+// action can ever complete.
+type DeadlockError struct {
+	Now       float64
+	Blocked   int
+	WaitGraph string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("vtime: deadlock at t=%g with %d blocked actors:\n%s",
+		e.Now, e.Blocked, e.WaitGraph)
 }
 
 // NewKernel creates an empty simulation kernel at virtual time zero.
@@ -88,6 +141,7 @@ func (k *Kernel) Run() error {
 		panic("vtime: Kernel.Run called twice")
 	}
 	k.running = true
+	k.wallStart = time.Now()
 	for {
 		// Phase 1: let every runnable actor run until it blocks.
 		for len(k.runnable) > 0 {
@@ -114,9 +168,15 @@ func (k *Kernel) Run() error {
 			return k.deadlockError()
 		}
 		k.steps++
+		if err := k.checkWatchdog(); err != nil {
+			return err
+		}
 		t := k.heap.peek().finishAt
 		if t < k.now {
 			t = k.now // defensive: never move backwards
+		}
+		if max := k.watchdog.MaxVirtual; max > 0 && t > max {
+			return k.watchdogError(fmt.Sprintf("virtual-time budget %g s exceeded (next completion at t=%g)", max, t))
 		}
 		k.now = t
 		for k.heap.Len() > 0 && k.heap.peek().finishAt <= t {
@@ -251,13 +311,67 @@ func (k *Kernel) Post(a Action, fn func()) {
 	k.submit(&act)
 }
 
-func (k *Kernel) deadlockError() error {
-	var b strings.Builder
-	fmt.Fprintf(&b, "vtime: deadlock at t=%g with %d blocked actors:", k.now, k.alive)
-	for _, a := range k.actors {
-		if !a.done {
-			fmt.Fprintf(&b, "\n  actor %d %q: %s", a.id, a.name, a.status)
+// checkWatchdog enforces the step and wall-clock budgets.  It runs once
+// per scheduling step, keeping the common path to two comparisons.
+func (k *Kernel) checkWatchdog() error {
+	if max := k.watchdog.MaxSteps; max > 0 && k.steps > max {
+		return k.watchdogError(fmt.Sprintf("step budget %d exhausted", max))
+	}
+	// Checking the host clock is comparatively expensive; amortise it.
+	if max := k.watchdog.MaxWall; max > 0 && k.steps%256 == 0 {
+		if wall := time.Since(k.wallStart); wall > max {
+			return k.watchdogError(fmt.Sprintf("wall-clock budget %s exhausted (ran %s)", max, wall.Round(time.Millisecond)))
 		}
 	}
-	return fmt.Errorf("%s", b.String())
+	return nil
+}
+
+func (k *Kernel) watchdogError(reason string) error {
+	return &WatchdogError{
+		Reason:    reason,
+		Steps:     k.steps,
+		Completed: k.completed,
+		Now:       k.now,
+		WaitGraph: k.WaitGraph(),
+	}
+}
+
+func (k *Kernel) deadlockError() error {
+	return &DeadlockError{Now: k.now, Blocked: k.alive, WaitGraph: k.WaitGraph()}
+}
+
+// WaitGraph renders a diagnostic snapshot of every live actor: what it is
+// doing, what condition it is blocked on and since when, plus an inverted
+// index from each condition to its waiters.  It is the payload of
+// deadlock and watchdog errors and may be called at any time for
+// debugging.
+func (k *Kernel) WaitGraph() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  wait-graph (%d live actors, %d pending actions):", k.alive, k.heap.Len())
+	type edge struct {
+		cond    *Cond
+		waiters []string
+	}
+	var edges []edge
+	seen := make(map[*Cond]int)
+	for _, a := range k.actors {
+		if a.done {
+			continue
+		}
+		fmt.Fprintf(&b, "\n    actor %d %q: %s", a.id, a.name, a.status)
+		if c := a.waitingOn; c != nil {
+			fmt.Fprintf(&b, " (blocked since t=%g)", a.blockedAt)
+			i, ok := seen[c]
+			if !ok {
+				i = len(edges)
+				seen[c] = i
+				edges = append(edges, edge{cond: c})
+			}
+			edges[i].waiters = append(edges[i].waiters, a.name)
+		}
+	}
+	for _, e := range edges {
+		fmt.Fprintf(&b, "\n    cond %q <- waiters %v", e.cond.name, e.waiters)
+	}
+	return b.String()
 }

@@ -1,0 +1,135 @@
+package vtime
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// A livelocked simulation — actors keep scheduling actions forever — must
+// abort within the configured step budget with a structured diagnostic
+// instead of hanging the test suite.
+func TestWatchdogStepBudgetAbortsLivelock(t *testing.T) {
+	k := NewKernel()
+	k.SetWatchdog(Watchdog{MaxSteps: 1000})
+	k.Spawn("spinner", func(a *Actor) {
+		for {
+			a.Sleep(1e-6)
+		}
+	})
+	k.Spawn("peer", func(a *Actor) {
+		for {
+			a.Compute(1e-6)
+		}
+	})
+	err := k.Run()
+	if err == nil {
+		t.Fatal("livelocked run returned nil error")
+	}
+	var we *WatchdogError
+	if !errors.As(err, &we) {
+		t.Fatalf("want *WatchdogError, got %T: %v", err, err)
+	}
+	if we.Steps < 1000 || we.Steps > 1001 {
+		t.Fatalf("aborted after %d steps, want the 1000-step budget", we.Steps)
+	}
+	if !strings.Contains(we.Error(), "step budget") {
+		t.Fatalf("reason missing from error: %v", we)
+	}
+	for _, name := range []string{"spinner", "peer"} {
+		if !strings.Contains(we.WaitGraph, name) {
+			t.Fatalf("wait-graph does not name actor %q:\n%s", name, we.WaitGraph)
+		}
+	}
+}
+
+func TestWatchdogVirtualTimeBudget(t *testing.T) {
+	k := NewKernel()
+	k.SetWatchdog(Watchdog{MaxVirtual: 5})
+	k.Spawn("long", func(a *Actor) {
+		a.Sleep(1)
+		a.Sleep(100)
+	})
+	err := k.Run()
+	var we *WatchdogError
+	if !errors.As(err, &we) {
+		t.Fatalf("want *WatchdogError, got %T: %v", err, err)
+	}
+	if !strings.Contains(we.Reason, "virtual-time budget") {
+		t.Fatalf("unexpected reason %q", we.Reason)
+	}
+	if we.Now > 5 {
+		t.Fatalf("virtual time advanced to %g past the budget", we.Now)
+	}
+}
+
+func TestWatchdogDisabledByDefault(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("worker", func(a *Actor) {
+		for i := 0; i < 2000; i++ {
+			a.Sleep(1)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("unrestricted run failed: %v", err)
+	}
+}
+
+func TestWatchdogWallBudget(t *testing.T) {
+	k := NewKernel()
+	k.SetWatchdog(Watchdog{MaxWall: time.Nanosecond})
+	k.Spawn("spinner", func(a *Actor) {
+		for {
+			a.Sleep(1e-6)
+		}
+	})
+	err := k.Run()
+	var we *WatchdogError
+	if !errors.As(err, &we) {
+		t.Fatalf("want *WatchdogError, got %T: %v", err, err)
+	}
+	if !strings.Contains(we.Reason, "wall-clock budget") {
+		t.Fatalf("unexpected reason %q", we.Reason)
+	}
+}
+
+// Satellite: the deadlock diagnostic must list the blocked actors and the
+// wait-graph edges from each condition to its waiters.
+func TestDeadlockWaitGraph(t *testing.T) {
+	k := NewKernel()
+	c1 := k.NewCond("first-lock")
+	c2 := k.NewCond("second-lock")
+	k.Spawn("alice", func(a *Actor) {
+		a.Sleep(1)
+		c1.Wait(a) // nobody ever signals
+	})
+	k.Spawn("bob", func(a *Actor) {
+		c2.Wait(a)
+	})
+	err := k.Run()
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("want *DeadlockError, got %T: %v", err, err)
+	}
+	if de.Blocked != 2 {
+		t.Fatalf("Blocked = %d, want 2", de.Blocked)
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"deadlock",
+		`"alice": waiting on first-lock`,
+		`"bob": waiting on second-lock`,
+		"blocked since t=1",
+		"blocked since t=0",
+		`cond "first-lock" <- waiters [alice]`,
+		`cond "second-lock" <- waiters [bob]`,
+	} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("deadlock diagnostic missing %q:\n%s", want, msg)
+		}
+	}
+}
