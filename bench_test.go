@@ -107,6 +107,34 @@ func BenchmarkFig8and9(b *testing.B) {
 	}
 }
 
+// BenchmarkStudySequential and BenchmarkStudyPooled4 run the same
+// MiniFE-1 quick study with one worker and with four, so the pool's
+// speedup can be read off a single `-bench 'BenchmarkStudy'` run (the
+// results themselves are byte-identical — see
+// internal/experiment/pool_test.go).
+func BenchmarkStudySequential(b *testing.B) {
+	benchStudy(b, 1)
+}
+
+func BenchmarkStudyPooled4(b *testing.B) {
+	benchStudy(b, 4)
+}
+
+func benchStudy(b *testing.B, workers int) {
+	spec, err := experiment.SpecByName("MiniFE-1", experiment.Options{Quick: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := benchOpts()
+	opts.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunStudy(spec, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // ---- substrate micro-benchmarks ----
 
 // BenchmarkKernelSharedResource measures the virtual-time kernel's

@@ -7,6 +7,8 @@
 //	ltreport -reps 3         # fewer repetitions
 //	ltreport -table 1        # only Table I
 //	ltreport -fig 9          # only Figure 9
+//	ltreport -j 4            # at most 4 parallel simulations
+//	ltreport -cache ~/.ltcache             # reuse cached repetitions
 //	ltreport -fault-study MiniFE-1         # fault-resilience table
 package main
 
@@ -18,6 +20,7 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/faults"
+	"repro/internal/runcache"
 )
 
 func main() {
@@ -28,11 +31,24 @@ func main() {
 	seed := flag.Int64("seed", 1, "base noise seed")
 	table := flag.Int("table", 0, "regenerate only this table (1 or 2)")
 	fig := flag.Int("fig", 0, "regenerate only this figure (2-9)")
+	workers := flag.Int("j", 0, "parallel simulations (0 = all CPUs); results are identical for any value")
+	cacheDir := flag.String("cache", "", "serve repetitions from a run cache in this directory")
 	faultCfg := flag.String("fault-study", "", "run the fault-resilience study on this configuration and exit")
 	faultSpec := flag.String("faults", "", "fault plan for -fault-study (default: auto-sized one-off delay)")
 	flag.Parse()
 
-	opts := experiment.StudyOptions{Reps: *reps, BaseSeed: *seed}
+	opts := experiment.StudyOptions{Reps: *reps, BaseSeed: *seed, Workers: *workers}
+	if *cacheDir != "" {
+		cache, err := runcache.Open(*cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Cache = cache
+		defer func() {
+			hits, misses := cache.Stats()
+			log.Printf("run cache %s: %d hits, %d misses", cache.Dir(), hits, misses)
+		}()
+	}
 	specOpts := experiment.Options{Quick: *quick}
 	w := os.Stdout
 

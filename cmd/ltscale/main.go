@@ -9,15 +9,18 @@
 //
 //	ltscale                     # all three mini-apps
 //	ltscale -app TeaLeaf -reps 5
+//	ltscale -j 4 -cache ~/.ltcache
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
 
 	"repro/internal/experiment"
 	"repro/internal/noise"
+	"repro/internal/runcache"
 )
 
 func main() {
@@ -27,7 +30,17 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per point")
 	seed := flag.Int64("seed", 1, "noise seed")
 	quick := flag.Bool("quick", false, "shrink the problems")
+	workers := flag.Int("j", 0, "parallel simulations (0 = all CPUs); results are identical for any value")
+	cacheDir := flag.String("cache", "", "serve repetitions from a run cache in this directory")
 	flag.Parse()
+
+	var cache *runcache.Cache
+	if *cacheDir != "" {
+		var err error
+		if cache, err = runcache.Open(*cacheDir); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	sweeps := []struct {
 		name   string
@@ -47,11 +60,20 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		points, err := experiment.ScalingStudy(spec, s.points, *reps, *seed, np)
+		res, err := experiment.RunScaling(spec, s.points, experiment.ScalingOptions{
+			Reps: *reps, Seed: *seed, Noise: np, Workers: *workers, Cache: cache,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		experiment.RenderScaling(os.Stdout, s.name, points)
+		experiment.RenderScaling(os.Stdout, s.name, res.Points)
+		for _, d := range res.Dropped {
+			fmt.Printf("dropped: rep %d (seed %d): %s\n", d.Rep, d.Seed, d.Err)
+		}
 		os.Stdout.WriteString("\n")
+	}
+	if cache != nil {
+		hits, misses := cache.Stats()
+		log.Printf("run cache %s: %d hits, %d misses", cache.Dir(), hits, misses)
 	}
 }

@@ -9,6 +9,7 @@
 //
 //	ltverify            # all claims (~2 minutes)
 //	ltverify -reps 5
+//	ltverify -j 4 -cache ~/.ltcache   # parallel, cached repetitions
 //
 // Exit status 1 if any claim fails.
 package main
@@ -22,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/runcache"
 	"repro/internal/scalasca"
 )
 
@@ -35,7 +37,18 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ltverify: ")
 	reps := flag.Int("reps", 3, "repetitions per study")
+	workers := flag.Int("j", 0, "parallel simulations (0 = all CPUs); results are identical for any value")
+	cacheDir := flag.String("cache", "", "serve repetitions from a run cache in this directory")
 	flag.Parse()
+
+	opts := experiment.StudyOptions{Reps: *reps, Workers: *workers}
+	if *cacheDir != "" {
+		cache, err := runcache.Open(*cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Cache = cache
+	}
 
 	needed := []string{"MiniFE-1", "MiniFE-2", "LULESH-1", "LULESH-2", "TeaLeaf-2", "TeaLeaf-4"}
 	studies := make(map[string]*experiment.Study)
@@ -45,11 +58,15 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("running %s...\n", name)
-		st, err := experiment.RunStudy(spec, experiment.StudyOptions{Reps: *reps})
+		st, err := experiment.RunStudy(spec, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
 		studies[name] = st
+	}
+	if opts.Cache != nil {
+		hits, misses := opts.Cache.Stats()
+		log.Printf("run cache %s: %d hits, %d misses", opts.Cache.Dir(), hits, misses)
 	}
 	fmt.Println()
 

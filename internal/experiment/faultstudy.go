@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/faults"
@@ -103,12 +104,25 @@ func FaultReport(w io.Writer, fs *FaultStudy) {
 	fmt.Fprintf(w, "FAULT RESILIENCE — %s\n", fs.Spec.Name)
 	fmt.Fprintf(w, "plan: %s\n\n", fs.Plan.Describe())
 	fmt.Fprintf(w, "%-10s %18s %22s %14s\n", "mode", "rep-to-rep J", "J(faulted vs clean)", "dilation %")
-	for _, mode := range fs.Faulted.Opts.Modes {
+	for _, mode := range reportModes(fs.Faulted.Opts) {
 		fmt.Fprintf(w, "%-10s %18.4f %22.4f %14.2f\n",
 			mode, fs.RepStability(mode), fs.FaultShift(mode), fs.WallDilation(mode))
 	}
 	reportDropped(w, "clean", fs.Clean)
 	reportDropped(w, "faulted", fs.Faulted)
+}
+
+// reportModes returns the modes FaultReport renders: a caller-supplied
+// mode list keeps its explicit order, but when fill() installed the
+// default list the copy is sorted, so the table's row order is stable
+// across code versions even when cached and fresh studies mix in one
+// report.
+func reportModes(o StudyOptions) []core.Mode {
+	modes := append([]core.Mode(nil), o.Modes...)
+	if o.modesDefaulted {
+		sort.Slice(modes, func(i, j int) bool { return modes[i] < modes[j] })
+	}
+	return modes
 }
 
 func reportDropped(w io.Writer, label string, st *Study) {

@@ -127,6 +127,8 @@ func TestRunFaultStudyRejectsEmptyPlan(t *testing.T) {
 
 // Acceptance: a study with a panicking repetition completes, retries the
 // repetition with a fresh seed, and reports the rep it had to drop.
+// Workers is pinned to 1: the failure is injected by counting App calls,
+// which is only meaningful when jobs run in enumeration order.
 func TestStudySurvivesPanickingRepetition(t *testing.T) {
 	spec := tinySpec()
 	inner := spec.App
@@ -141,7 +143,7 @@ func TestStudySurvivesPanickingRepetition(t *testing.T) {
 		return inner(r)
 	}
 	st, err := RunStudy(spec, StudyOptions{
-		Reps: 3, BaseSeed: 1, Modes: []core.Mode{core.ModeLt1},
+		Reps: 3, BaseSeed: 1, Modes: []core.Mode{core.ModeLt1}, Workers: 1,
 	})
 	if err != nil {
 		t.Fatalf("study with one bad repetition failed outright: %v", err)
@@ -178,7 +180,7 @@ func TestStudyRetryRecovers(t *testing.T) {
 		}
 		return inner(r)
 	}
-	st, err := RunStudy(spec, StudyOptions{Reps: 2, BaseSeed: 1, Modes: []core.Mode{core.ModeLt1}})
+	st, err := RunStudy(spec, StudyOptions{Reps: 2, BaseSeed: 1, Modes: []core.Mode{core.ModeLt1}, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,236 @@
+package experiment
+
+// The worker-pool executor behind RunStudy, RunFaultStudy and
+// RunScaling.  Every job in a study's grid is fully isolated — it builds
+// its own vtime.Kernel, its own machine and its own seeded noise model —
+// so jobs can run on any number of goroutines.  Determinism across
+// worker counts comes from three rules, all enforced here:
+//
+//  1. A job's inputs (seed, noise, faults, config) are computed during
+//     grid *enumeration*, never during execution, so they cannot depend
+//     on scheduling order.
+//  2. Results are placed back by slot index; the output grid is
+//     assembled in enumeration order after every worker has finished.
+//  3. The degradation path (panic isolation, one retry with the seed
+//     shifted by retrySeedOffset, Dropped accounting) lives in runJob,
+//     so a retried or dropped repetition behaves identically whether it
+//     ran on worker 1 of 1 or worker 7 of 16.
+//
+// With those rules, RunStudy/RunFaultStudy/RunScaling outputs are
+// byte-identical for any worker count (asserted by pool_test.go).
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/measure"
+	"repro/internal/runcache"
+)
+
+// cacheCodeVersion salts every cache key with the simulation semantics
+// version.  Bump it whenever a change to the kernel, machine model,
+// noise model, mini-apps or analyzer alters what any (spec, mode, seed,
+// config) job produces; stale entries then miss instead of resurfacing
+// results the current code would not compute.
+const cacheCodeVersion = "repro-sim-1"
+
+// Job is one self-describing unit of a study's grid: which configuration
+// to run, with which options, and where the result goes.
+type Job struct {
+	// Slot is the job's placement index in the pool's result slice.
+	Slot int
+	// Spec is the configuration to run (scaling grids vary it per point).
+	Spec Spec
+	// Mode is the timer mode, "" for an uninstrumented reference run.
+	// It is also recorded in DroppedRep when the job fails twice.
+	Mode core.Mode
+	// Rep is the repetition number within (Spec, Mode).
+	Rep int
+	// Opts are the fully-resolved run options, seed included.
+	Opts RunOptions
+}
+
+// studyJobs enumerates RunStudy's full grid — reference repetitions
+// first, then every mode's repetitions in opts.Modes order — with the
+// exact per-job seeds and analyze flags of the original sequential
+// protocol.  The enumeration is the contract that keeps cached results
+// from sequential runs valid under any worker count (pinned by
+// TestStudyJobSeedsMatchSequentialProtocol).
+func studyJobs(spec Spec, opts StudyOptions) []Job {
+	jobs := make([]Job, 0, opts.Reps*(1+len(opts.Modes)))
+	for rep := 0; rep < opts.Reps; rep++ {
+		jobs = append(jobs, Job{
+			Slot: len(jobs), Spec: spec, Mode: "", Rep: rep,
+			Opts: RunOptions{
+				Seed: opts.BaseSeed + int64(rep), Noise: *opts.Noise,
+				Faults: opts.Faults, Watchdog: opts.Watchdog,
+			},
+		})
+	}
+	for _, mode := range opts.Modes {
+		cfg := measure.DefaultConfig(mode)
+		for rep := 0; rep < opts.Reps; rep++ {
+			analyze := rep == 0 || !mode.Deterministic() || opts.AnalyzeAll
+			jobs = append(jobs, Job{
+				Slot: len(jobs), Spec: spec, Mode: mode, Rep: rep,
+				Opts: RunOptions{
+					Cfg: &cfg, Seed: opts.BaseSeed + int64(rep), Noise: *opts.Noise,
+					Faults: opts.Faults, Analyze: analyze, Watchdog: opts.Watchdog,
+				},
+			})
+		}
+	}
+	return jobs
+}
+
+// poolWorkers resolves a requested worker count against a job count:
+// 0 (or negative) means GOMAXPROCS, and there is never a reason to run
+// more workers than jobs.
+func poolWorkers(requested, jobs int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runPool executes the jobs across min(workers, len(jobs)) goroutines
+// and returns, both placed by slot, the results (nil where the job was
+// dropped) and the dropped-repetition records (nil where it succeeded).
+// Each worker writes only its own jobs' slots, so placement needs no
+// lock, and slot indexing keeps the output independent of scheduling;
+// flattenDrops turns the drop slots into the report form.
+func runPool(jobs []Job, workers int, cache *runcache.Cache) ([]*RunResult, []*DroppedRep) {
+	results := make([]*RunResult, len(jobs))
+	drops := make([]*DroppedRep, len(jobs))
+	workers = poolWorkers(workers, len(jobs))
+	if workers == 1 {
+		for i := range jobs {
+			results[i], drops[i] = runJob(jobs[i], cache)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					results[i], drops[i] = runJob(jobs[i], cache)
+				}
+			}()
+		}
+		for i := range jobs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	return results, drops
+}
+
+// flattenDrops collects the pool's per-slot drop records in
+// job-enumeration order.
+func flattenDrops(drops []*DroppedRep) []DroppedRep {
+	var out []DroppedRep
+	for _, d := range drops {
+		if d != nil {
+			out = append(out, *d)
+		}
+	}
+	return out
+}
+
+// runJob executes one job with the shared degradation path: consult the
+// cache, run isolated, retry once with a fresh seed on failure, and
+// convert a double failure into a DroppedRep.  Only a first-attempt
+// success is cached — a retry's result belongs to the shifted seed, and
+// caching it under the primary key would hand later runs a result the
+// primary seed never produced.
+func runJob(job Job, cache *runcache.Cache) (*RunResult, *DroppedRep) {
+	key, cacheable := cacheKey(job.Spec, job.Opts)
+	if cache != nil && cacheable {
+		if e, ok := cache.Get(key); ok {
+			return resultOf(e), nil
+		}
+	}
+	res, err := runIsolated(job.Spec, job.Opts)
+	if err == nil {
+		if cache != nil && cacheable {
+			// A failed Put only costs the next run a re-simulation.
+			_ = cache.Put(key, entryOf(res))
+		}
+		return res, nil
+	}
+	retry := job.Opts
+	retry.Seed += retrySeedOffset
+	res, err2 := runIsolated(job.Spec, retry)
+	if err2 == nil {
+		return res, nil
+	}
+	return nil, &DroppedRep{
+		Mode: job.Mode, Rep: job.Rep, Seed: job.Opts.Seed,
+		Err: fmt.Sprintf("%v (retry with seed %d: %v)", err, retry.Seed, err2),
+	}
+}
+
+// cacheKey builds the content address of one job.  ok is false when the
+// job cannot be keyed: a measurement Filter is an opaque function, so
+// filtered runs always execute.  The spec's App closure is likewise not
+// hashable — its identity is carried by Name, Description, the geometry
+// fields and cacheCodeVersion, which is why that constant must be bumped
+// with every simulation-semantics change.
+func cacheKey(spec Spec, o RunOptions) (runcache.Key, bool) {
+	if o.Cfg != nil && o.Cfg.Filter != nil {
+		return runcache.Key{}, false
+	}
+	k := runcache.Key{
+		Spec: fmt.Sprintf("%s|%dx%dx%d|oneper=%t|%s",
+			spec.Name, spec.Ranks, spec.Threads, spec.Nodes, spec.OnePerDomain, spec.Description),
+		Seed:     o.Seed,
+		Noise:    fmt.Sprintf("%+v", o.Noise),
+		Analyze:  o.Analyze,
+		Watchdog: fmt.Sprintf("%+v", o.Watchdog),
+		Version:  cacheCodeVersion,
+	}
+	if o.Cfg != nil {
+		k.Mode = string(o.Cfg.Mode)
+		cfg := *o.Cfg
+		cfg.Filter = nil
+		k.Config = fmt.Sprintf("%+v", cfg)
+	}
+	if o.Faults != nil {
+		// Key the *effective* plan: RunWithOptions defaults a zero plan
+		// seed to the job seed before arming.
+		plan := *o.Faults
+		if plan.Seed == 0 {
+			plan.Seed = o.Seed
+		}
+		k.Faults = fmt.Sprintf("seed=%d|jitter=%g|%s", plan.Seed, plan.Jitter, plan.String())
+	}
+	return k, true
+}
+
+// entryOf converts a run result to its cached form.
+func entryOf(r *RunResult) *runcache.Entry {
+	return &runcache.Entry{
+		Mode: string(r.Mode), Wall: r.Wall, Phases: r.Phases,
+		Checks: r.Checks, FoM: r.FoM, Trace: r.Trace, Profile: r.Profile,
+	}
+}
+
+// resultOf converts a cached entry back to a run result.
+func resultOf(e *runcache.Entry) *RunResult {
+	return &RunResult{
+		Mode: core.Mode(e.Mode), Wall: e.Wall, Phases: e.Phases,
+		Checks: e.Checks, FoM: e.FoM, Trace: e.Trace, Profile: e.Profile,
+	}
+}

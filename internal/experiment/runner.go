@@ -10,6 +10,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/measure"
 	"repro/internal/noise"
+	"repro/internal/runcache"
 	"repro/internal/scalasca"
 	"repro/internal/simmpi"
 	"repro/internal/simomp"
@@ -158,6 +159,19 @@ type StudyOptions struct {
 	// Watchdog bounds each repetition's simulation; the zero value runs
 	// unbounded.
 	Watchdog vtime.Watchdog
+	// Workers caps the goroutines of the study's job pool; 0 uses
+	// GOMAXPROCS.  The results are byte-identical for every worker
+	// count — every job owns its kernel, machine and noise model, and
+	// the pool places results back by grid index (see pool.go).
+	Workers int
+	// Cache, when non-nil, serves already-computed repetitions from a
+	// content-addressed run cache and stores fresh first-attempt
+	// results into it.
+	Cache *runcache.Cache
+
+	// modesDefaulted records that fill() installed the default mode
+	// list, so renderers may sort it for stable report ordering.
+	modesDefaulted bool
 }
 
 func (o StudyOptions) fill() StudyOptions {
@@ -170,6 +184,7 @@ func (o StudyOptions) fill() StudyOptions {
 	}
 	if len(o.Modes) == 0 {
 		o.Modes = core.AllModes()
+		o.modesDefaulted = true
 	}
 	return o
 }
@@ -213,27 +228,6 @@ func runIsolated(spec Spec, o RunOptions) (res *RunResult, err error) {
 	return RunWithOptions(spec, o)
 }
 
-// runRep is one isolated repetition with the study's retry policy: on
-// failure the repetition is retried once with a fresh seed before being
-// declared dropped.
-func (st *Study) runRep(mode core.Mode, rep int, o RunOptions) *RunResult {
-	res, err := runIsolated(st.Spec, o)
-	if err == nil {
-		return res
-	}
-	retry := o
-	retry.Seed += retrySeedOffset
-	res, err2 := runIsolated(st.Spec, retry)
-	if err2 == nil {
-		return res
-	}
-	st.Dropped = append(st.Dropped, DroppedRep{
-		Mode: mode, Rep: rep, Seed: o.Seed,
-		Err: fmt.Sprintf("%v (retry with seed %d: %v)", err, retry.Seed, err2),
-	})
-	return nil
-}
-
 // RunStudy executes the full protocol of §IV-B for one configuration:
 // five uninstrumented reference runs, then instrumented runs with every
 // clock.  The noise-sensitive modes (tsc, lt_hwctr) are measured and
@@ -241,32 +235,27 @@ func (st *Study) runRep(mode core.Mode, rep int, o RunOptions) *RunResult {
 // times (their wall time is still noisy) but analyzed once, since their
 // traces repeat bit-for-bit (unless Opts.AnalyzeAll asks for more).
 //
-// Failing repetitions are isolated: each is retried once with a fresh
-// seed, then dropped and reported in Study.Dropped.  RunStudy returns an
-// error only when every single repetition failed.
+// The grid runs on Opts.Workers goroutines (0 = GOMAXPROCS); because
+// every repetition is fully isolated and results are placed back by grid
+// index, the Study is byte-identical for every worker count.  Failing
+// repetitions are isolated: each is retried once with a fresh seed, then
+// dropped and reported in Study.Dropped.  RunStudy returns an error only
+// when every single repetition failed.
 func RunStudy(spec Spec, opts StudyOptions) (*Study, error) {
 	opts = opts.fill()
 	st := &Study{Spec: spec, Opts: opts, Runs: make(map[core.Mode][]*RunResult)}
-	for rep := 0; rep < opts.Reps; rep++ {
-		res := st.runRep("", rep, RunOptions{
-			Seed: opts.BaseSeed + int64(rep), Noise: *opts.Noise,
-			Faults: opts.Faults, Watchdog: opts.Watchdog,
-		})
-		if res != nil {
-			st.Refs = append(st.Refs, res)
+	jobs := studyJobs(spec, opts)
+	results, drops := runPool(jobs, opts.Workers, opts.Cache)
+	st.Dropped = flattenDrops(drops)
+	for i, job := range jobs {
+		res := results[i]
+		if res == nil {
+			continue
 		}
-	}
-	for _, mode := range opts.Modes {
-		cfg := measure.DefaultConfig(mode)
-		for rep := 0; rep < opts.Reps; rep++ {
-			analyze := rep == 0 || !mode.Deterministic() || opts.AnalyzeAll
-			res := st.runRep(mode, rep, RunOptions{
-				Cfg: &cfg, Seed: opts.BaseSeed + int64(rep), Noise: *opts.Noise,
-				Faults: opts.Faults, Analyze: analyze, Watchdog: opts.Watchdog,
-			})
-			if res != nil {
-				st.Runs[mode] = append(st.Runs[mode], res)
-			}
+		if job.Mode == "" {
+			st.Refs = append(st.Refs, res)
+		} else {
+			st.Runs[job.Mode] = append(st.Runs[job.Mode], res)
 		}
 	}
 	if st.completedReps() == 0 {

@@ -6,6 +6,8 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/noise"
+	"repro/internal/runcache"
+	"repro/internal/vtime"
 )
 
 // ScalePoint is one configuration of a preliminary scaling study
@@ -21,49 +23,134 @@ type ScalePoint struct {
 	FoM            float64 // mean figure of merit (0 if not reported)
 	Speedup        float64 // vs the first point
 	Efficiency     float64 // speedup / resource ratio
+	// Err is non-empty when every repetition of the point failed; the
+	// point's timing fields are then zero and it is excluded from the
+	// speedup baseline.
+	Err string
 }
 
-// ScalingStudy runs the given app (taken from base) uninstrumented at a
+// ScalingOptions configures a scaling study's execution.
+type ScalingOptions struct {
+	// Reps is the number of repetitions per point (default 3).
+	Reps int
+	// Seed decorrelates repetitions (rep r runs with Seed+r).
+	Seed int64
+	// Noise selects the noise environment.
+	Noise noise.Params
+	// Workers caps the job pool's goroutines; 0 uses GOMAXPROCS.
+	Workers int
+	// Cache optionally serves repetitions from a run cache.
+	Cache *runcache.Cache
+	// Watchdog bounds each repetition; the zero value runs unbounded.
+	Watchdog vtime.Watchdog
+}
+
+// ScalingResult is a completed scaling study: the per-point table plus
+// the repetitions the pool had to drop (each point averages over its
+// completed repetitions).
+type ScalingResult struct {
+	Points  []ScalePoint
+	Dropped []DroppedRep
+}
+
+// RunScaling runs the given app (taken from base) uninstrumented at a
 // series of (ranks, threads) points and reports run times, speedups and
-// parallel efficiencies.  Points that do not fit the machine are skipped
-// with an error entry.
-func ScalingStudy(base Spec, points [][2]int, reps int, seed int64, np noise.Params) ([]ScalePoint, error) {
-	if reps <= 0 {
-		reps = 3
+// parallel efficiencies.  The full points × reps grid runs on the shared
+// job pool, with the same degradation path as RunStudy: a failing
+// repetition is retried once with a fresh seed, then dropped; a point
+// whose every repetition drops is reported with an Err entry instead of
+// failing the study.  Results are byte-identical for every worker count.
+func RunScaling(base Spec, points [][2]int, o ScalingOptions) (*ScalingResult, error) {
+	if o.Reps <= 0 {
+		o.Reps = 3
 	}
-	var out []ScalePoint
-	for _, pt := range points {
+	specs := make([]Spec, len(points))
+	jobs := make([]Job, 0, len(points)*o.Reps)
+	for pi, pt := range points {
 		spec := base
+		spec.Name = fmt.Sprintf("%s %dx%d", base.Name, pt[0], pt[1])
 		spec.Ranks, spec.Threads = pt[0], pt[1]
 		spec.Nodes = (pt[0]*pt[1] + 127) / 128
 		if spec.Nodes < 1 {
 			spec.Nodes = 1
 		}
 		spec.OnePerDomain = false
+		specs[pi] = spec
+		for rep := 0; rep < o.Reps; rep++ {
+			jobs = append(jobs, Job{
+				Slot: len(jobs), Spec: spec, Rep: rep,
+				Opts: RunOptions{
+					Seed: o.Seed + int64(rep), Noise: o.Noise, Watchdog: o.Watchdog,
+				},
+			})
+		}
+	}
+	results, drops := runPool(jobs, o.Workers, o.Cache)
+	out := &ScalingResult{Dropped: flattenDrops(drops)}
+	for pi, spec := range specs {
+		p := ScalePoint{Ranks: spec.Ranks, Threads: spec.Threads, Nodes: spec.Nodes}
 		var total, fom float64
-		for rep := 0; rep < reps; rep++ {
-			res, err := Run(spec, "", seed+int64(rep), np, false)
-			if err != nil {
-				return nil, fmt.Errorf("scaling point %dx%d: %w", pt[0], pt[1], err)
+		done := 0
+		for rep := 0; rep < o.Reps; rep++ {
+			slot := pi*o.Reps + rep
+			if res := results[slot]; res != nil {
+				total += res.Wall
+				fom += res.FoM
+				done++
+			} else if p.Err == "" && drops[slot] != nil {
+				p.Err = drops[slot].Err
 			}
-			total += res.Wall
-			fom += res.FoM
 		}
-		out = append(out, ScalePoint{
-			Ranks: pt[0], Threads: pt[1], Nodes: spec.Nodes,
-			Wall: total / float64(reps),
-			FoM:  fom / float64(reps),
-		})
-	}
-	if len(out) > 0 && out[0].Wall > 0 {
-		baseCores := float64(out[0].Ranks * out[0].Threads)
-		for i := range out {
-			out[i].Speedup = out[0].Wall / out[i].Wall
-			cores := float64(out[i].Ranks * out[i].Threads)
-			out[i].Efficiency = out[i].Speedup * baseCores / cores
+		if done > 0 {
+			p.Err = "" // partial completion still yields a timing
+			p.Wall = total / float64(done)
+			p.FoM = fom / float64(done)
 		}
+		out.Points = append(out.Points, p)
 	}
+	normalizeScaling(out.Points)
 	return out, nil
+}
+
+// normalizeScaling fills Speedup and Efficiency against the first point
+// that completed with a positive wall time.
+func normalizeScaling(points []ScalePoint) {
+	base := -1
+	for i, p := range points {
+		if p.Err == "" && p.Wall > 0 {
+			base = i
+			break
+		}
+	}
+	if base != 0 {
+		// Match the historical contract: speedups normalise against the
+		// first point; without it the columns stay zero.
+		return
+	}
+	baseCores := float64(points[0].Ranks * points[0].Threads)
+	for i := range points {
+		if points[i].Err != "" || points[i].Wall <= 0 {
+			continue
+		}
+		points[i].Speedup = points[0].Wall / points[i].Wall
+		cores := float64(points[i].Ranks * points[i].Threads)
+		points[i].Efficiency = points[i].Speedup * baseCores / cores
+	}
+}
+
+// ScalingStudy is the strict legacy entry point: RunScaling with default
+// parallelism, failing outright on the first dropped repetition the way
+// the pre-pool sequential implementation did.
+func ScalingStudy(base Spec, points [][2]int, reps int, seed int64, np noise.Params) ([]ScalePoint, error) {
+	res, err := RunScaling(base, points, ScalingOptions{Reps: reps, Seed: seed, Noise: np})
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Dropped) > 0 {
+		d := res.Dropped[0]
+		return nil, fmt.Errorf("scaling rep %d (seed %d): %s", d.Rep, d.Seed, d.Err)
+	}
+	return res.Points, nil
 }
 
 // RenderScaling writes a scaling table.
@@ -72,6 +159,10 @@ func RenderScaling(w io.Writer, name string, points []ScalePoint) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "ranks\tthreads\tnodes\twall/s\tFoM\tspeedup\tefficiency")
 	for _, p := range points {
+		if p.Err != "" {
+			fmt.Fprintf(tw, "%d\t%d\t%d\tFAILED: %s\n", p.Ranks, p.Threads, p.Nodes, p.Err)
+			continue
+		}
 		fmt.Fprintf(tw, "%d\t%d\t%d\t%.4f\t%.4g\t%.2f\t%.2f\n",
 			p.Ranks, p.Threads, p.Nodes, p.Wall, p.FoM, p.Speedup, p.Efficiency)
 	}

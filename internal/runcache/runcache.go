@@ -1,0 +1,373 @@
+// Package runcache is a content-addressed on-disk cache for simulated
+// run results.  A study's job grid is fully deterministic — the outcome
+// of one job is a pure function of (spec identity, mode, seed, noise
+// parameters, fault plan, measurement config, code version) — so results
+// can be stored under a stable hash of exactly those inputs and reused
+// across `ltreport`/`ltverify`/`ltscale` invocations.  Entries reuse the
+// repository's canonical encoders: the event trace is stored in the LTRC
+// binary format (internal/trace) and the analysis profile as the cube
+// JSON (internal/cube), so a cached result decodes deep-equal to a fresh
+// run (asserted by tests in internal/experiment).
+//
+// The cache is safe for concurrent use by the pool's workers: writes go
+// to a temporary file and are renamed into place, and two racing writers
+// of the same key produce identical bytes.  Any read problem — missing
+// file, truncation, corruption, format-version skew — degrades to a
+// cache miss, never an error; the job is simply re-run.
+package runcache
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/cube"
+	"repro/internal/trace"
+)
+
+// Key names the complete identity of one simulated job.  Every field
+// that can change the job's outcome must appear here; the composite
+// fields (Spec, Noise, Faults, Config, Watchdog) are canonical string
+// renderings produced by the caller.  Version is the caller's code
+// version salt: bump it whenever simulation semantics change, so stale
+// entries from older binaries can never be mistaken for fresh results.
+type Key struct {
+	Spec     string // spec identity: name, geometry, pinning, description
+	Mode     string // timer mode; "" for an uninstrumented reference run
+	Seed     int64  // noise / fault-jitter seed
+	Noise    string // noise.Params rendering
+	Faults   string // effective fault plan (seed, jitter, faults); "" if none
+	Config   string // measurement config rendering; "" if uninstrumented
+	Analyze  bool   // whether the trace was run through the analyzer
+	Watchdog string // run budget rendering (it can truncate a result)
+	Version  string // caller's code-version salt
+}
+
+// Hash returns the key's content address: a hex SHA-256 over the
+// length-prefixed fields, so no concatenation of field values can
+// collide with another field split.
+func (k Key) Hash() string {
+	h := sha256.New()
+	put := func(s string) {
+		var b [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(b[:], uint64(len(s)))
+		h.Write(b[:n])
+		io.WriteString(h, s)
+	}
+	put(k.Spec)
+	put(k.Mode)
+	put(strconv.FormatInt(k.Seed, 10))
+	put(k.Noise)
+	put(k.Faults)
+	put(k.Config)
+	put(strconv.FormatBool(k.Analyze))
+	put(k.Watchdog)
+	put(k.Version)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Entry is the cached form of one run result.  It mirrors
+// experiment.RunResult field for field; the experiment package converts
+// between the two (runcache cannot import it without a cycle).
+type Entry struct {
+	Mode    string
+	Wall    float64
+	Phases  map[string]float64
+	Checks  []float64
+	FoM     float64
+	Trace   *trace.Trace  // nil for reference runs
+	Profile *cube.Profile // nil unless analyzed
+}
+
+// Cache is a content-addressed store rooted at one directory.  Entries
+// live at <dir>/<hh>/<hash>.ltr, sharded by the first hash byte so a
+// long sweep does not pile tens of thousands of files into one listing.
+type Cache struct {
+	dir          string
+	hits, misses atomic.Int64
+}
+
+// Open creates (if needed) and returns the cache rooted at dir.
+func Open(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runcache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Stats returns the hit and miss counts since Open.
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+func (c *Cache) path(hash string) string {
+	return filepath.Join(c.dir, hash[:2], hash+".ltr")
+}
+
+// Get looks a key up.  ok is false on a miss, including every flavour of
+// unreadable entry (absent, truncated, corrupt, wrong format version).
+func (c *Cache) Get(key Key) (e *Entry, ok bool) {
+	f, err := os.Open(c.path(key.Hash()))
+	if err != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	defer f.Close()
+	e, err = decodeEntry(bufio.NewReader(f))
+	if err != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return e, true
+}
+
+// Put stores an entry under the key, atomically: the bytes are written
+// to a temporary file in the same directory and renamed into place, so
+// a reader never observes a half-written entry and concurrent writers
+// of the same key are harmless.
+func (c *Cache) Put(key Key, e *Entry) error {
+	var buf bytes.Buffer
+	if err := encodeEntry(&buf, e); err != nil {
+		return fmt.Errorf("runcache: encoding entry: %w", err)
+	}
+	path := c.path(key.Hash())
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("runcache: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".put-*")
+	if err != nil {
+		return fmt.Errorf("runcache: %w", err)
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runcache: %w", err)
+	}
+	return nil
+}
+
+// Entry file format (integers varint-encoded, floats as little-endian
+// IEEE-754 bits):
+//
+//	magic "LTRR" (4 bytes), version uvarint
+//	mode string (uvarint length + bytes)
+//	wall f64, fom f64
+//	phase count, then per phase (sorted by name): name, value f64
+//	check count, then per check: value f64
+//	flags byte (bit 0: trace present, bit 1: profile present)
+//	if trace:   uvarint byte length + LTRC stream (trace.Write)
+//	if profile: uvarint byte length + cube JSON (cube/Profile.Write)
+const (
+	entryMagic   = "LTRR"
+	entryVersion = 1
+)
+
+// Sanity caps, mirroring internal/trace's reader hardening: a corrupted
+// count must fail (→ miss) instead of allocating gigabytes.
+const (
+	maxPhases    = 1 << 16
+	maxChecks    = 1 << 24
+	maxBlobBytes = 1 << 30
+)
+
+func encodeEntry(w *bytes.Buffer, e *Entry) error {
+	w.WriteString(entryMagic)
+	var vb [binary.MaxVarintLen64]byte
+	putU := func(v uint64) {
+		n := binary.PutUvarint(vb[:], v)
+		w.Write(vb[:n])
+	}
+	putS := func(s string) {
+		putU(uint64(len(s)))
+		w.WriteString(s)
+	}
+	putF := func(f float64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+		w.Write(b[:])
+	}
+	putU(entryVersion)
+	putS(e.Mode)
+	putF(e.Wall)
+	putF(e.FoM)
+	names := make([]string, 0, len(e.Phases))
+	for name := range e.Phases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	putU(uint64(len(names)))
+	for _, name := range names {
+		putS(name)
+		putF(e.Phases[name])
+	}
+	putU(uint64(len(e.Checks)))
+	for _, v := range e.Checks {
+		putF(v)
+	}
+	var flags byte
+	if e.Trace != nil {
+		flags |= 1
+	}
+	if e.Profile != nil {
+		flags |= 2
+	}
+	w.WriteByte(flags)
+	blob := func(write func(io.Writer) error) error {
+		var b bytes.Buffer
+		if err := write(&b); err != nil {
+			return err
+		}
+		putU(uint64(b.Len()))
+		w.Write(b.Bytes())
+		return nil
+	}
+	if e.Trace != nil {
+		if err := blob(e.Trace.Write); err != nil {
+			return err
+		}
+	}
+	if e.Profile != nil {
+		if err := blob(e.Profile.Write); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decodeEntry(r *bufio.Reader) (*Entry, error) {
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, err
+	}
+	if string(head) != entryMagic {
+		return nil, fmt.Errorf("runcache: bad magic %q", head)
+	}
+	getU := func() (uint64, error) { return binary.ReadUvarint(r) }
+	getS := func() (string, error) {
+		n, err := getU()
+		if err != nil {
+			return "", err
+		}
+		if n > maxBlobBytes {
+			return "", fmt.Errorf("runcache: implausible string length %d", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	getF := func() (float64, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(b[:])), nil
+	}
+	ver, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	if ver != entryVersion {
+		return nil, fmt.Errorf("runcache: unsupported entry version %d", ver)
+	}
+	e := &Entry{}
+	if e.Mode, err = getS(); err != nil {
+		return nil, err
+	}
+	if e.Wall, err = getF(); err != nil {
+		return nil, err
+	}
+	if e.FoM, err = getF(); err != nil {
+		return nil, err
+	}
+	nphase, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	if nphase > maxPhases {
+		return nil, fmt.Errorf("runcache: implausible phase count %d", nphase)
+	}
+	e.Phases = make(map[string]float64, nphase)
+	for i := uint64(0); i < nphase; i++ {
+		name, err := getS()
+		if err != nil {
+			return nil, err
+		}
+		if e.Phases[name], err = getF(); err != nil {
+			return nil, err
+		}
+	}
+	ncheck, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	if ncheck > maxChecks {
+		return nil, fmt.Errorf("runcache: implausible check count %d", ncheck)
+	}
+	e.Checks = make([]float64, ncheck)
+	for i := range e.Checks {
+		if e.Checks[i], err = getF(); err != nil {
+			return nil, err
+		}
+	}
+	flags, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	blob := func() ([]byte, error) {
+		n, err := getU()
+		if err != nil {
+			return nil, err
+		}
+		if n > maxBlobBytes {
+			return nil, fmt.Errorf("runcache: implausible blob length %d", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+	if flags&1 != 0 {
+		b, err := blob()
+		if err != nil {
+			return nil, err
+		}
+		if e.Trace, err = trace.Read(bytes.NewReader(b)); err != nil {
+			return nil, err
+		}
+	}
+	if flags&2 != 0 {
+		b, err := blob()
+		if err != nil {
+			return nil, err
+		}
+		if e.Profile, err = cube.Read(bytes.NewReader(b)); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
