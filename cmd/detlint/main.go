@@ -1,0 +1,102 @@
+// Command detlint runs the repo's determinism lint suite (see
+// internal/lint/detlint) over Go packages, multichecker-style: every
+// analyzer runs on every package, findings print as file:line:col
+// diagnostics, and any finding fails the run.
+//
+//	detlint ./...
+//	detlint ./internal/cube ./internal/scalasca
+//
+// Suppress a deliberate exception with a "//detlint:allow <analyzer>"
+// comment on the offending line or the line above.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/detlint"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("detlint: ")
+	verbose := flag.Bool("v", false, "list packages as they are checked")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+
+	modDir, err := findModuleRoot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	loader, err := lint.NewLoader(modDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var dirs []string
+	for _, arg := range args {
+		if strings.HasSuffix(arg, "/...") {
+			root := strings.TrimSuffix(arg, "/...")
+			if root == "." || root == "" {
+				root = modDir
+			}
+			expanded, err := lint.ModuleDirs(root)
+			if err != nil {
+				log.Fatal(err)
+			}
+			dirs = append(dirs, expanded...)
+		} else {
+			dirs = append(dirs, arg)
+		}
+	}
+
+	analyzers := detlint.Analyzers()
+	failed := false
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "checking %s\n", pkg.Path)
+		}
+		diags, err := lint.Run(pkg, analyzers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

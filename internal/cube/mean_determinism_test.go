@@ -1,0 +1,72 @@
+package cube
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// meanInputs builds a fresh set of profiles with enough call paths that
+// a map-iteration-ordered merge would intern them differently with
+// overwhelming probability (Go randomises map range order per run and
+// per map value).
+func meanInputs() []*Profile {
+	locs := []string{"rank0", "rank1"}
+	var out []*Profile
+	for rep := 0; rep < 3; rep++ {
+		p := New("lt_stmt", locs)
+		timeM := p.AddMetric("time", "total time", NoParent)
+		visits := p.AddMetric("visits", "visit count", NoParent)
+		main := p.Path(NoParent, "main")
+		for i := 0; i < 40; i++ {
+			node := p.Path(main, fmt.Sprintf("region_%02d", i))
+			for l := range locs {
+				p.Add(timeM, node, l, float64(rep+i+l)+0.25)
+				p.Add(visits, node, l, float64(i*l+1))
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Mean merges profiles by interning the union of call paths; the result
+// must serialise to identical bytes across calls — the property the
+// run cache and every diffed report depend on.  The pre-fix Mean ranged
+// over the severity maps, so its Paths order (and therefore Write's
+// output) changed from run to run.
+func TestMeanSerializesDeterministically(t *testing.T) {
+	var first []byte
+	for i := 0; i < 5; i++ {
+		m := Mean(meanInputs())
+		var buf bytes.Buffer
+		if err := m.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(first, buf.Bytes()) {
+			t.Fatalf("Mean serialisation differs between identical merges (run %d):\n%d vs %d bytes", i, len(first), buf.Len())
+		}
+	}
+}
+
+// The path order itself must follow the inputs' declaration order, not
+// any map order.
+func TestMeanPathOrderFollowsInputs(t *testing.T) {
+	m := Mean(meanInputs())
+	if len(m.Paths) == 0 {
+		t.Fatal("merged profile has no paths")
+	}
+	if m.Paths[0].Name != "main" {
+		t.Fatalf("first interned path = %q, want %q", m.Paths[0].Name, "main")
+	}
+	for i := 1; i < len(m.Paths); i++ {
+		want := fmt.Sprintf("region_%02d", i-1)
+		if m.Paths[i].Name != want {
+			t.Fatalf("path %d = %q, want %q (declaration order)", i, m.Paths[i].Name, want)
+		}
+	}
+}

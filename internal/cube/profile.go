@@ -296,15 +296,27 @@ func Mean(profiles []*Profile) *Profile {
 		}
 		out.AddMetric(m.Name, m.Desc, parent)
 	}
+	// Iterate metrics and paths in slice (declaration) order, NOT over
+	// the sev maps: map-range order here would intern the output's Paths
+	// in a different order on every run, making the merged profile's
+	// serialised bytes nondeterministic.
 	for _, pr := range profiles {
-		for m, byPath := range pr.sev {
+		for m := range pr.Metrics {
+			byPath := pr.sev[MetricID(m)]
+			if byPath == nil {
+				continue
+			}
 			name := pr.Metrics[m].Name
 			outM, ok := out.MetricByName(name)
 			if !ok {
 				outM = out.AddMetric(name, pr.Metrics[m].Desc, NoParent)
 			}
-			for path, vals := range byPath {
-				outPath := out.internPathString(pr.PathString(path))
+			for path := range pr.Paths {
+				vals, ok := byPath[PathID(path)]
+				if !ok {
+					continue
+				}
+				outPath := out.internPathString(pr.PathString(PathID(path)))
 				for l, v := range vals {
 					if v != 0 && l < out.NumLocs() {
 						out.Add(outM, outPath, l, v/n)

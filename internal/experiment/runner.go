@@ -15,6 +15,7 @@ import (
 	"repro/internal/simmpi"
 	"repro/internal/simomp"
 	"repro/internal/trace"
+	"repro/internal/tracecheck"
 	"repro/internal/vtime"
 )
 
@@ -168,6 +169,12 @@ type StudyOptions struct {
 	// content-addressed run cache and stores fresh first-attempt
 	// results into it.
 	Cache *runcache.Cache
+	// VerifyTraces runs every completed repetition's trace through the
+	// invariant checker (internal/tracecheck) after the pool drains,
+	// recording one report per (mode, rep) in Study.TraceChecks — the
+	// opt-in hook ltverify uses to assert clock-condition compliance
+	// across a whole study grid.
+	VerifyTraces bool
 
 	// modesDefaulted records that fill() installed the default mode
 	// list, so renderers may sort it for stable report ordering.
@@ -200,6 +207,26 @@ type Study struct {
 	Refs    []*RunResult
 	Runs    map[core.Mode][]*RunResult
 	Dropped []DroppedRep
+	// TraceChecks holds one invariant report per completed (mode, rep)
+	// when Opts.VerifyTraces is set, in mode-list then repetition order.
+	TraceChecks []TraceCheckResult
+}
+
+// TraceCheckResult is one repetition's trace-invariant verification.
+type TraceCheckResult struct {
+	Mode   core.Mode
+	Rep    int
+	Report *tracecheck.Report
+}
+
+// TraceViolations sums the invariant violations across all verified
+// repetitions (0 when verification was off or everything passed).
+func (s *Study) TraceViolations() int {
+	n := 0
+	for _, tc := range s.TraceChecks {
+		n += tc.Report.NumViolations()
+	}
+	return n
 }
 
 // DroppedRep records one repetition that failed both its primary run and
@@ -261,6 +288,21 @@ func RunStudy(spec Spec, opts StudyOptions) (*Study, error) {
 	if st.completedReps() == 0 {
 		return nil, fmt.Errorf("experiment %s: every repetition failed; first: %s",
 			spec.Name, st.Dropped[0].Err)
+	}
+	if opts.VerifyTraces {
+		// Deterministic order — modes as listed, repetitions in order —
+		// so verification output never depends on pool scheduling.
+		for _, mode := range opts.Modes {
+			for rep, res := range st.Runs[mode] {
+				if res.Trace == nil {
+					continue
+				}
+				st.TraceChecks = append(st.TraceChecks, TraceCheckResult{
+					Mode: mode, Rep: rep,
+					Report: tracecheck.Verify(res.Trace, tracecheck.Options{}),
+				})
+			}
+		}
 	}
 	return st, nil
 }

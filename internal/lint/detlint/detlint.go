@@ -1,0 +1,321 @@
+// Package detlint enforces the repo's determinism contract in source:
+// simulation results must be a pure function of (spec, mode, seed,
+// noise, faults, config) — that is what makes PR 2's content-addressed
+// run cache sound and lets studies reproduce bit-for-bit.  Three
+// analyzers guard the ways Go code usually breaks that property:
+//
+//   - wallclock: any reference to time.Now or time.Since.  Real time
+//     must never influence simulation state; the single sanctioned
+//     exception is the vtime kernel's injectable nowFunc (watchdog
+//     wall-clock budget), which carries a "//detlint:allow wallclock"
+//     directive.
+//   - globalrand: calls through the process-global math/rand generator
+//     (rand.Intn, rand.Float64, rand.Shuffle, …).  The global generator
+//     is shared, unseeded (or racily reseeded) state; deterministic code
+//     threads an explicit rand.New(rand.NewSource(seed)).
+//   - maporder: map-range loops whose iteration order leaks into an
+//     ordered sink — appending to a slice declared outside the loop, or
+//     serialising inside the loop (Fprintf, Write…, Encode…, Add…) —
+//     without a subsequent sort.  Go randomises map iteration order per
+//     run, so such loops produce run-dependent bytes; the fix is to
+//     iterate a sorted key slice (or sort the collected results, which
+//     the analyzer recognises and accepts).
+//
+// Suppress a deliberate exception with "//detlint:allow <name>" on the
+// offending line or the line above.
+package detlint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzers is the determinism-lint suite in reporting order.
+func Analyzers() []*lint.Analyzer {
+	return []*lint.Analyzer{Wallclock, GlobalRand, MapOrder}
+}
+
+// Wallclock flags references to time.Now and time.Since.
+var Wallclock = &lint.Analyzer{
+	Name: "wallclock",
+	Doc:  "flags time.Now/time.Since: real time must not influence simulation state",
+	Run: func(pass *lint.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if pkgPathOf(pass, f, sel) != "time" {
+					return true
+				}
+				if sel.Sel.Name == "Now" || sel.Sel.Name == "Since" {
+					pass.Report(sel.Pos(),
+						"time.%s reads the wall clock; inject a nowFunc (see internal/vtime) so simulation stays deterministic",
+						sel.Sel.Name)
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// globalRandOK lists math/rand selectors that do not touch the global
+// generator: constructors and types.
+var globalRandOK = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"Source": true, "Rand": true, "Zipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2 constructors
+	"PCG": true, "ChaCha8": true,
+}
+
+// GlobalRand flags calls through the process-global math/rand generator.
+var GlobalRand = &lint.Analyzer{
+	Name: "globalrand",
+	Doc:  "flags global math/rand calls: thread an explicit rand.New(rand.NewSource(seed))",
+	Run: func(pass *lint.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				p := pkgPathOf(pass, f, sel)
+				if p != "math/rand" && p != "math/rand/v2" {
+					return true
+				}
+				if !globalRandOK[sel.Sel.Name] {
+					pass.Report(sel.Pos(),
+						"rand.%s uses the process-global generator; use rand.New(rand.NewSource(seed)) for reproducible runs",
+						sel.Sel.Name)
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// sinkPrefixes are method-name prefixes treated as order-sensitive:
+// they accumulate, serialise or intern their arguments in call order.
+var sinkPrefixes = []string{
+	"Add", "Append", "Write", "Print", "Fprint", "Encode",
+	"Push", "Record", "Intern", "Marshal",
+}
+
+// MapOrder flags map-range loops whose iteration order escapes into an
+// ordered sink without a subsequent sort.
+var MapOrder = &lint.Analyzer{
+	Name: "maporder",
+	Doc:  "flags map iteration flowing into appends/serialisation without an intervening sort",
+	Run: func(pass *lint.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || !rangesOverMap(pass, rs) {
+					return true
+				}
+				checkMapRange(pass, f, rs, enclosingFunc(f, rs))
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// enclosingFunc finds the innermost function declaration or literal
+// containing the range statement — the scope the sorted-afterwards
+// exemption scans.
+func enclosingFunc(f *ast.File, rs *ast.RangeStmt) ast.Node {
+	var best ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			if n.Pos() <= rs.Pos() && rs.End() <= n.End() {
+				if best == nil || (n.Pos() >= best.Pos() && n.End() <= best.End()) {
+					best = n
+				}
+			}
+		}
+		return true
+	})
+	return best
+}
+
+// rangesOverMap reports whether the range statement iterates a map.
+// Unknown types (incomplete type-check) do NOT count: a lint pass must
+// not punish code it cannot resolve.
+func rangesOverMap(pass *lint.Pass, rs *ast.RangeStmt) bool {
+	if pass.Info == nil {
+		return false
+	}
+	t := pass.Info.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func checkMapRange(pass *lint.Pass, f *ast.File, rs *ast.RangeStmt, enclosing ast.Node) {
+	sorted := sortFollows(pass, f, rs, enclosing)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// A nested map range reports on its own visit.
+			return true
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) {
+					continue
+				}
+				if i < len(n.Lhs) && declaredOutside(pass, n.Lhs[i], rs) && !sorted {
+					pass.Report(n.Pos(),
+						"append inside map-range loop collects keys/values in random order; sort the result or iterate sorted keys")
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && isSinkCall(pass, f, sel) {
+				pass.Report(n.Pos(),
+					"%s called inside map-range loop emits in random order; iterate sorted keys instead",
+					selString(sel))
+			}
+		}
+		return true
+	})
+}
+
+// sortFollows reports whether a sort.* / slices.Sort* call appears after
+// the range statement inside the same enclosing function — the standard
+// collect-then-sort idiom.
+func sortFollows(pass *lint.Pass, f *ast.File, rs *ast.RangeStmt, enclosing ast.Node) bool {
+	if enclosing == nil {
+		enclosing = f
+	}
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch pkgPathOf(pass, f, sel) {
+		case "sort", "slices":
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isBuiltinAppend(pass *lint.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if pass.Info != nil {
+		if obj := pass.Info.Uses[id]; obj != nil {
+			_, builtin := obj.(*types.Builtin)
+			return builtin
+		}
+	}
+	return true
+}
+
+// declaredOutside reports whether the assignment target refers to
+// storage declared outside the range statement (so loop-order survives
+// the loop).  Selector and index targets always qualify.
+func declaredOutside(pass *lint.Pass, lhs ast.Expr, rs *ast.RangeStmt) bool {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return true
+	}
+	if pass.Info == nil {
+		return true
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		obj = pass.Info.Defs[id]
+	}
+	if obj == nil {
+		return true
+	}
+	return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+}
+
+// isSinkCall reports whether a selector call serialises or accumulates
+// in argument order: stdlib output/encoding functions, or a method whose
+// name carries an order-sensitive prefix.
+func isSinkCall(pass *lint.Pass, f *ast.File, sel *ast.SelectorExpr) bool {
+	name := sel.Sel.Name
+	switch p := pkgPathOf(pass, f, sel); {
+	case p == "fmt":
+		return strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")
+	case p != "":
+		// A function of some other package — package-level calls are
+		// not treated as sinks (json.Marshal sorts map keys itself).
+		return false
+	}
+	// A method call on a value: sink iff the name carries an
+	// order-sensitive prefix (AddMetric, WriteString, EncodeEntry, …).
+	for _, p := range sinkPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func selString(sel *ast.SelectorExpr) string {
+	if id, ok := sel.X.(*ast.Ident); ok {
+		return id.Name + "." + sel.Sel.Name
+	}
+	return "(...)." + sel.Sel.Name
+}
+
+// pkgPathOf resolves the package a selector's base identifier refers to,
+// returning "" when it is not a package reference (method call, field
+// access) or cannot be resolved.  Falls back to the file's import table
+// when type information is incomplete.
+func pkgPathOf(pass *lint.Pass, f *ast.File, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pass.Info != nil {
+		if obj, ok := pass.Info.Uses[id]; ok {
+			if pn, ok := obj.(*types.PkgName); ok {
+				return pn.Imported().Path()
+			}
+			return "" // a variable, field or local — not a package
+		}
+	}
+	// Unresolved identifier: consult the import table by name.
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path[strings.LastIndexByte(path, '/')+1:]
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == id.Name {
+			return path
+		}
+	}
+	return ""
+}

@@ -1,0 +1,26 @@
+package detlint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/detlint"
+	"repro/internal/lint/linttest"
+)
+
+// Each testdata package seeds the violations its analyzer must flag —
+// and the idioms it must NOT flag — checked against // want comments,
+// analysistest-style.  This is the "CI fails on a seeded determinism-
+// lint violation" acceptance criterion: if an analyzer regresses, the
+// seeded violations stop being reported and this test fails.
+func TestWallclock(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "src", "wallclock"), detlint.Wallclock)
+}
+
+func TestGlobalRand(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "src", "globalrand"), detlint.GlobalRand)
+}
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "src", "maporder"), detlint.MapOrder)
+}

@@ -1,0 +1,28 @@
+// Package globalrand seeds violations for the globalrand analyzer: the
+// process-global math/rand generator is shared mutable state, so any
+// draw from it is unreproducible.
+package globalrand
+
+import (
+	"math/rand"
+)
+
+func bad() float64 {
+	rand.Seed(42) // want "rand.Seed uses the process-global generator"
+	n := rand.Intn(10) // want "rand.Intn uses the process-global generator"
+	return rand.Float64() * float64(n) // want "rand.Float64 uses the process-global generator"
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "rand.Shuffle uses the process-global generator"
+}
+
+// The deterministic idiom: an explicit generator threaded from a seed.
+func okSeeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func okAllowed() int {
+	return rand.Int() //detlint:allow globalrand
+}

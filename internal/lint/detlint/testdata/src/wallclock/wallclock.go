@@ -1,0 +1,31 @@
+// Package wallclock seeds determinism-lint violations for the wallclock
+// analyzer: every reference to the real clock must be flagged unless it
+// carries an allow directive.
+package wallclock
+
+import (
+	"time"
+)
+
+var epoch time.Time
+
+func bad() time.Duration {
+	start := time.Now()        // want "time.Now reads the wall clock"
+	return time.Since(epoch) + // want "time.Since reads the wall clock"
+		time.Until(start)*0
+}
+
+func badIndirect() func() time.Time {
+	return time.Now // want "time.Now reads the wall clock"
+}
+
+// The sanctioned-exception pattern: an injectable clock carrying the
+// allow directive is the ONLY tolerated reference.
+var nowFunc = time.Now //detlint:allow wallclock
+
+func okInjected() time.Time { return nowFunc() }
+
+func okDurationsOnly(d time.Duration) time.Duration {
+	// Durations and timers that never read the clock are fine.
+	return d * 2
+}

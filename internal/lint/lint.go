@@ -1,0 +1,139 @@
+// Package lint is a minimal static-analysis framework in the shape of
+// golang.org/x/tools/go/analysis, built on the standard library's go/ast
+// and go/types only — the x/tools module is deliberately not a
+// dependency of this repo (zero external modules), so the framework
+// mirrors the Analyzer/Pass/Diagnostic surface the vet ecosystem uses
+// without importing it.  Analyzers written against it (internal/lint/
+// detlint) port to the real go/analysis API mechanically.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in suppression
+	// directives ("//detlint:allow <name>").
+	Name string
+	// Doc is a one-paragraph description.
+	Doc string
+	// Run applies the check to one package, reporting findings through
+	// pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's parsed and type-checked representation
+// through an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// TypeErrors holds any (tolerated) type-check failures; analyzers
+	// should degrade gracefully rather than assume complete type
+	// information when this is non-empty.
+	TypeErrors []error
+
+	diags *[]Diagnostic
+}
+
+// Report records a finding.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Directive is the comment prefix that suppresses findings:
+// "//detlint:allow <analyzer>" on the finding's line or the line above.
+const Directive = "//detlint:allow"
+
+// Run applies the analyzers to a loaded package and returns the
+// surviving diagnostics sorted by position, with suppression directives
+// already applied.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			Info:       pkg.Info,
+			TypeErrors: pkg.TypeErrors,
+			diags:      &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	diags = suppress(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// suppress drops diagnostics covered by an allow directive on the same
+// line or the line immediately above.
+func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
+	type key struct {
+		file string
+		line int
+		name string
+	}
+	allowed := make(map[key]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, Directive) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, Directive))
+				pos := pkg.Fset.Position(c.Pos())
+				for _, name := range strings.Fields(rest) {
+					allowed[key{pos.Filename, pos.Line, name}] = true
+					allowed[key{pos.Filename, pos.Line + 1, name}] = true
+				}
+			}
+		}
+	}
+	if len(allowed) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !allowed[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	Path  string // import path ("repro/internal/vtime")
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File // non-test files, sorted by filename
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-check failures without aborting the load:
+	// lint passes must degrade gracefully on code the (GOPATH-era)
+	// source importer cannot fully resolve.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages of one module.  Intra-module
+// imports resolve recursively through the loader itself; standard
+// library imports go through the compiler's source importer.  The
+// loader exists because x/tools/go/packages is off-limits (no external
+// dependencies) and `go list`-driven loading would shell out per
+// package.
+type Loader struct {
+	ModDir  string
+	ModPath string
+	Fset    *token.FileSet
+
+	std   types.Importer
+	cache map[string]*Package
+}
+
+// NewLoader reads the module path from dir/go.mod.  A directory without
+// go.mod loads as a self-contained package set (stdlib imports only) —
+// the mode the analyzer test harness uses for its testdata trees.
+func NewLoader(dir string) (*Loader, error) {
+	fset := token.NewFileSet()
+	l := &Loader{
+		ModDir: dir,
+		Fset:   fset,
+		std:    importer.ForCompiler(fset, "source", nil),
+		cache:  make(map[string]*Package),
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if rest, ok := strings.CutPrefix(line, "module "); ok {
+				l.ModPath = strings.TrimSpace(rest)
+				break
+			}
+		}
+	}
+	return l, nil
+}
+
+// Import implements types.Importer so the loader can hand itself to the
+// type checker: module-internal paths recurse, everything else falls
+// through to the stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if l.ModPath != "" && (path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/")) {
+		pkg, err := l.LoadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// LoadPath loads a module-internal import path.
+func (l *Loader) LoadPath(path string) (*Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: import cycle through %s", path)
+		}
+		return pkg, nil
+	}
+	rel := strings.TrimPrefix(path, l.ModPath)
+	dir := filepath.Join(l.ModDir, filepath.FromSlash(strings.TrimPrefix(rel, "/")))
+	return l.load(path, dir)
+}
+
+// LoadDir loads the package in one directory.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path := l.pathOf(abs)
+	if pkg, ok := l.cache[path]; ok && pkg != nil {
+		return pkg, nil
+	}
+	return l.load(path, abs)
+}
+
+func (l *Loader) pathOf(absDir string) string {
+	if l.ModPath != "" {
+		if rel, err := filepath.Rel(l.ModDir, absDir); err == nil && !strings.HasPrefix(rel, "..") {
+			if rel == "." {
+				return l.ModPath
+			}
+			return l.ModPath + "/" + filepath.ToSlash(rel)
+		}
+	}
+	return absDir
+}
+
+func (l *Loader) load(path, dir string) (*Package, error) {
+	l.cache[path] = nil // cycle marker
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", path, err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Check returns a usable (if incomplete) package even when it also
+	// reports errors; those land in TypeErrors for the passes to weigh.
+	tpkg, _ := conf.Check(path, l.Fset, files, pkg.Info)
+	pkg.Types = tpkg
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// ModuleDirs walks the module and returns every directory containing a
+// Go package, skipping testdata, vendor and hidden trees — the "./..."
+// expansion for the detlint driver.
+func ModuleDirs(modDir string) ([]string, error) {
+	var dirs []string
+	err := filepath.Walk(modDir, func(p string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			name := info.Name()
+			if name != "." && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(p, ".go") && !strings.HasSuffix(p, "_test.go") {
+			dir := filepath.Dir(p)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	// Walk visits files in order, but be safe about duplicates.
+	out := dirs[:0]
+	for i, d := range dirs {
+		if i == 0 || dirs[i-1] != d {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}

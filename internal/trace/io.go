@@ -126,10 +126,33 @@ func fail(section string, err error) error {
 	return fmt.Errorf("trace: reading %s: %w", section, err)
 }
 
+// RecordError pinpoints the event record being decoded when a trace
+// read fails mid-stream: the location index, its rank and thread, and
+// the zero-based event index within the location.  It wraps the
+// underlying failure, so errors.Is(err, ErrTruncated) still detects a
+// cut-off file, and analyses like ltlint can report the exact offending
+// record of a partially corrupted trace.
+type RecordError struct {
+	Loc    int // index into Trace.Locs
+	Rank   int
+	Thread int
+	Event  int // zero-based event index within the location
+	Events int // event count the location header declared
+	Err    error
+}
+
+func (e *RecordError) Error() string {
+	return fmt.Sprintf("location %d (rank %d thread %d): %v", e.Loc, e.Rank, e.Thread, e.Err)
+}
+
+func (e *RecordError) Unwrap() error { return e.Err }
+
 // Read deserialises a trace written by Write.  It fails with a precise
 // diagnostic — bad magic, unsupported version, implausible count, or an
 // ErrTruncated-wrapped error naming the section where the stream ended —
-// and never panics or over-allocates on corrupt input.
+// and never panics or over-allocates on corrupt input.  Failures inside
+// an event stream are additionally wrapped in a *RecordError carrying
+// the location's rank/thread and the event index.
 func Read(r io.Reader) (*Trace, error) {
 	br := bufio.NewReader(r)
 	head := make([]byte, 4)
@@ -230,35 +253,44 @@ func Read(r io.Reader) (*Trace, error) {
 		prev := uint64(0)
 		for j := uint64(0); j < nev; j++ {
 			section := fmt.Sprintf("event %d/%d of location %d/%d", j+1, nev, i+1, nloc)
-			kind, err := br.ReadByte()
+			ev, err := func() (Event, error) {
+				kind, err := br.ReadByte()
+				if err != nil {
+					return Event{}, fail(section, err)
+				}
+				dt, err := getU(section)
+				if err != nil {
+					return Event{}, err
+				}
+				prev += dt
+				reg, err := getU(section)
+				if err != nil {
+					return Event{}, err
+				}
+				a, err := getI(section)
+				if err != nil {
+					return Event{}, err
+				}
+				b, err := getI(section)
+				if err != nil {
+					return Event{}, err
+				}
+				c, err := getI(section)
+				if err != nil {
+					return Event{}, err
+				}
+				return Event{
+					Kind: EvKind(kind), Time: prev, Region: RegionID(reg),
+					A: int32(a), B: int32(b), C: c,
+				}, nil
+			}()
 			if err != nil {
-				return nil, fail(section, err)
+				return nil, &RecordError{
+					Loc: li, Rank: int(rank), Thread: int(thread),
+					Event: int(j), Events: int(nev), Err: err,
+				}
 			}
-			dt, err := getU(section)
-			if err != nil {
-				return nil, err
-			}
-			prev += dt
-			reg, err := getU(section)
-			if err != nil {
-				return nil, err
-			}
-			a, err := getI(section)
-			if err != nil {
-				return nil, err
-			}
-			b, err := getI(section)
-			if err != nil {
-				return nil, err
-			}
-			c, err := getI(section)
-			if err != nil {
-				return nil, err
-			}
-			t.Locs[li].Events = append(t.Locs[li].Events, Event{
-				Kind: EvKind(kind), Time: prev, Region: RegionID(reg),
-				A: int32(a), B: int32(b), C: c,
-			})
+			t.Locs[li].Events = append(t.Locs[li].Events, ev)
 		}
 	}
 	return t, nil

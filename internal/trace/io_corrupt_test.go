@@ -123,3 +123,43 @@ func TestReadSelfDelimiting(t *testing.T) {
 		t.Fatalf("trailing bytes changed the event count: %d", got.NumEvents())
 	}
 }
+
+// A truncation inside an event stream must additionally surface the
+// offending record's coordinates — location, rank, thread, event index —
+// through a *RecordError, while errors.Is(err, ErrTruncated) keeps
+// working through the wrap.
+func TestReadRecordContext(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	// Cut the stream in the middle of location 1's second event (the
+	// sample's receive on rank 1): find a prefix length whose error
+	// carries that record context.
+	sawRecord := false
+	for n := 0; n < len(whole); n++ {
+		_, err := Read(bytes.NewReader(whole[:n]))
+		var rerr *RecordError
+		if !errors.As(err, &rerr) {
+			continue
+		}
+		sawRecord = true
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("prefix %d: RecordError does not unwrap to ErrTruncated: %v", n, err)
+		}
+		if rerr.Loc < 0 || rerr.Loc > 1 || rerr.Event < 0 || rerr.Event >= rerr.Events {
+			t.Fatalf("prefix %d: implausible record coordinates %+v", n, rerr)
+		}
+		wantRank := rerr.Loc // sample() has rank == location index
+		if rerr.Rank != wantRank || rerr.Thread != 0 {
+			t.Fatalf("prefix %d: rank/thread = %d/%d, want %d/0", n, rerr.Rank, rerr.Thread, wantRank)
+		}
+		if !strings.Contains(err.Error(), "rank") {
+			t.Fatalf("prefix %d: message lacks rank context: %v", n, err)
+		}
+	}
+	if !sawRecord {
+		t.Fatal("no truncation point produced a RecordError")
+	}
+}

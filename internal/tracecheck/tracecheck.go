@@ -1,0 +1,803 @@
+// Package tracecheck is an offline static-analysis pass over recorded
+// traces: it reconstructs the true happens-before relation from matched
+// sends/receives, collectives, OpenMP barriers and fork/join events —
+// the two-phase vector-clock approach of Sulzmann & Stadtmüller
+// (arXiv:1807.03585) applied to LTRC traces — and verifies a battery of
+// structural invariants against it.
+//
+// The paper's whole argument rests on logical timestamps satisfying
+// Lamport's clock condition (e → f ⇒ ts(e) < ts(f)) so that Scalasca's
+// replay sees causally consistent traces.  tracecheck turns that
+// assumption into a checked invariant: every violation is reported as a
+// structured record naming the kind, the ranks and regions involved, the
+// event indices and the clock values, so a broken clock mode (or a
+// corrupted trace) points at the exact offending records.
+//
+// Checked invariants, per clock mode:
+//
+//   - clock condition: for every synchronisation edge a → b of a logical
+//     trace, ts(a) < ts(b); additionally, sampled causally ordered pairs
+//     from the full vector-clock relation must satisfy it transitively.
+//   - per-location monotonicity: logical stamps strictly increase along
+//     each location's stream; physical (tsc) stamps never decrease.
+//   - message matching: every receive has a FIFO-matching send on its
+//     (src, dst, tag) channel, and no send is left unconsumed.
+//   - collective consistency: each rank observes a communicator's
+//     instances in sequence order 0,1,2,…; every instance is joined by
+//     the communicator's full membership, exactly once per member, under
+//     the same operation name.
+//   - barrier consistency: every OpenMP barrier instance is reached by
+//     the full team, in per-thread sequence order.
+//   - fork/join nesting: forks and joins appear on master threads only,
+//     strictly alternating with matching sequence numbers.
+//   - piggyback sync: on a logical trace, a synchronisation edge must
+//     advance the receiver past the sender's stamp by at least two ticks
+//     (fold pb+1, then stamp); an edge that gains exactly one tick means
+//     the piggyback was dropped even though the clock condition happens
+//     to hold.
+//   - region balance: Enter/Exit events nest properly on every location.
+package tracecheck
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// Kind classifies a violation.
+type Kind string
+
+// Violation kinds.
+const (
+	KindClockCondition  Kind = "clock-condition"
+	KindMonotonic       Kind = "nonmonotonic-timestamp"
+	KindUnmatchedRecv   Kind = "unmatched-recv"
+	KindOrphanSend      Kind = "orphan-send"
+	KindCollOrder       Kind = "collective-order"
+	KindCollParticipant Kind = "collective-participants"
+	KindBarrier         Kind = "barrier-mismatch"
+	KindForkJoin        Kind = "fork-join"
+	KindUnbalanced      Kind = "unbalanced-region"
+	KindPiggyback       Kind = "piggyback-sync"
+	KindCycle           Kind = "causality-cycle"
+)
+
+// EventPos pinpoints one event record with enough context to find it in
+// a trace dump: location index, rank/thread, event index, the record
+// kind, the innermost enclosing region and the recorded clock value.
+type EventPos struct {
+	Loc    int    `json:"loc"`
+	Index  int    `json:"index"`
+	Rank   int    `json:"rank"`
+	Thread int    `json:"thread"`
+	Kind   string `json:"kind"`
+	Region string `json:"region,omitempty"`
+	Time   uint64 `json:"time"`
+}
+
+func (p EventPos) String() string {
+	s := fmt.Sprintf("rank %d thread %d event %d %s t=%d", p.Rank, p.Thread, p.Index, p.Kind, p.Time)
+	if p.Region != "" {
+		s += " in " + p.Region
+	}
+	return s
+}
+
+// Violation is one invariant breach.  Event is the primary offending
+// record; Peer, when set, is the other end of the synchronisation edge
+// (the matched send for a receive-side breach, and so on).
+type Violation struct {
+	Kind   Kind      `json:"kind"`
+	Event  EventPos  `json:"event"`
+	Peer   *EventPos `json:"peer,omitempty"`
+	Detail string    `json:"detail"`
+}
+
+func (v Violation) String() string {
+	s := fmt.Sprintf("%s: %s", v.Kind, v.Event)
+	if v.Peer != nil {
+		s += fmt.Sprintf(" <- %s", *v.Peer)
+	}
+	if v.Detail != "" {
+		s += ": " + v.Detail
+	}
+	return s
+}
+
+// Report summarises one verification run.
+type Report struct {
+	Clock   string `json:"clock"`
+	Logical bool   `json:"logical"` // strict logical-clock invariants applied
+	Locs    int    `json:"locations"`
+	Events  int    `json:"events"`
+	Edges   int    `json:"edges"` // synchronisation edges reconstructed
+	// SampledPairs counts the causally ordered event pairs checked
+	// transitively through the vector clocks (0 when the audit was
+	// skipped for size).
+	SampledPairs int `json:"sampled_pairs"`
+	// Counts is the total number of violations per kind, including any
+	// past the per-kind recording cap.
+	Counts     map[Kind]int `json:"counts,omitempty"`
+	Violations []Violation  `json:"violations,omitempty"`
+}
+
+// OK reports whether no invariant was violated.
+func (r *Report) OK() bool { return len(r.Counts) == 0 }
+
+// NumViolations returns the total violation count across kinds.
+func (r *Report) NumViolations() int {
+	n := 0
+	for _, c := range r.Counts {
+		n += c
+	}
+	return n
+}
+
+// Render writes a human-readable summary followed by up to limit
+// violations (0 = all recorded).
+func (r *Report) Render(w io.Writer, limit int) {
+	verdict := "OK"
+	if !r.OK() {
+		verdict = fmt.Sprintf("%d violations", r.NumViolations())
+	}
+	mode := "physical"
+	if r.Logical {
+		mode = "logical"
+	}
+	fmt.Fprintf(w, "tracecheck %s (%s): %d locations, %d events, %d sync edges, %d sampled pairs — %s\n",
+		r.Clock, mode, r.Locs, r.Events, r.Edges, r.SampledPairs, verdict)
+	kinds := make([]Kind, 0, len(r.Counts))
+	for k := range r.Counts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Fprintf(w, "  %-24s %d\n", k, r.Counts[k])
+	}
+	n := len(r.Violations)
+	if limit > 0 && n > limit {
+		n = limit
+	}
+	for _, v := range r.Violations[:n] {
+		fmt.Fprintf(w, "  %s\n", v)
+	}
+	if n < len(r.Violations) {
+		fmt.Fprintf(w, "  ... %d more recorded\n", len(r.Violations)-n)
+	}
+}
+
+// Options tunes a verification run.  The zero value is the default.
+type Options struct {
+	// MaxPerKind caps the violations recorded per kind; the totals in
+	// Report.Counts keep counting past it.  0 means 100.
+	MaxPerKind int
+	// MaxVectorCells bounds the vector-clock audit: when events ×
+	// locations exceeds it the transitive sampling pass is skipped
+	// (edge-wise and monotonicity checks still imply the clock
+	// condition).  0 means 50 million cells.
+	MaxVectorCells int
+	// SamplesPerLoc is the number of evenly spaced events sampled per
+	// location for the transitive clock-condition audit.  0 means 4.
+	SamplesPerLoc int
+}
+
+func (o Options) fill() Options {
+	if o.MaxPerKind == 0 {
+		o.MaxPerKind = 100
+	}
+	if o.MaxVectorCells == 0 {
+		o.MaxVectorCells = 50 << 20
+	}
+	if o.SamplesPerLoc == 0 {
+		o.SamplesPerLoc = 4
+	}
+	return o
+}
+
+// Logical reports whether a clock name denotes a logical (Lamport-style,
+// piggyback-synchronised) mode, for which the strict invariants apply.
+func Logical(clock string) bool { return strings.HasPrefix(clock, "lt_") }
+
+// Verify runs every invariant check against the trace and returns the
+// report.  It never fails: structural problems (unmatched receives,
+// broken nesting, causality cycles) become violations, so a partially
+// corrupted trace still yields a maximally informative report.
+func Verify(tr *trace.Trace, opt Options) *Report {
+	opt = opt.fill()
+	c := &checker{
+		tr:  tr,
+		opt: opt,
+		rep: &Report{
+			Clock:   tr.Clock,
+			Logical: Logical(tr.Clock),
+			Locs:    len(tr.Locs),
+			Events:  tr.NumEvents(),
+			Counts:  make(map[Kind]int),
+		},
+	}
+	c.scan()
+	c.matchMessages()
+	c.checkCollectives()
+	c.checkBarriers()
+	c.checkForkJoin()
+	c.rep.Edges = len(c.edges)
+	c.checkEdges()
+	c.vectorAudit()
+	sort.SliceStable(c.rep.Violations, func(i, j int) bool {
+		a, b := c.rep.Violations[i], c.rep.Violations[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Event.Loc != b.Event.Loc {
+			return a.Event.Loc < b.Event.Loc
+		}
+		return a.Event.Index < b.Event.Index
+	})
+	if len(c.rep.Counts) == 0 {
+		c.rep.Counts = nil
+	}
+	return c.rep
+}
+
+type ref struct{ loc, idx int }
+
+type chanKey struct{ src, dst, tag int32 }
+
+// collPart is one location's participation in a collective, barrier,
+// fork or join instance.
+type collPart struct {
+	loc   int
+	idx   int // the Coll/Barrier/Fork/Join record
+	enter int // enclosing Enter (edge source for collectives)
+	name  string
+}
+
+type checker struct {
+	tr  *trace.Trace
+	opt Options
+	rep *Report
+
+	// region[li][ei] is the innermost enclosing region at event ei, or
+	// -1 outside any region.
+	region [][]trace.RegionID
+
+	sends map[chanKey][]ref
+	colls map[[2]int32][]collPart // (comm, seq)
+	bars  map[[2]int32][]collPart // (rank, seq)
+	forks map[int32][]collPart    // rank -> forks in stream order
+	joins map[int32][]collPart    // rank -> joins in stream order
+
+	edges []vclock.Edge
+}
+
+// violate records a violation, honouring the per-kind cap.
+func (c *checker) violate(k Kind, ev EventPos, peer *EventPos, format string, args ...any) {
+	c.rep.Counts[k]++
+	if c.rep.Counts[k] > c.opt.MaxPerKind {
+		return
+	}
+	c.rep.Violations = append(c.rep.Violations, Violation{
+		Kind: k, Event: ev, Peer: peer, Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// pos builds the EventPos of one record.
+func (c *checker) pos(loc, idx int) EventPos {
+	l := c.tr.Locs[loc]
+	e := l.Events[idx]
+	p := EventPos{
+		Loc: loc, Index: idx, Rank: l.Rank, Thread: l.Thread,
+		Kind: e.Kind.String(), Time: e.Time,
+	}
+	if reg := c.region[loc][idx]; reg >= 0 && int(reg) < len(c.tr.Regions) {
+		p.Region = c.tr.Regions[reg].Name
+	}
+	return p
+}
+
+func (c *checker) posPtr(loc, idx int) *EventPos {
+	p := c.pos(loc, idx)
+	return &p
+}
+
+// scan performs the per-location pass: region nesting, timestamp
+// monotonicity, and collection of every synchronisation record.
+func (c *checker) scan() {
+	c.region = make([][]trace.RegionID, len(c.tr.Locs))
+	c.sends = make(map[chanKey][]ref)
+	c.colls = make(map[[2]int32][]collPart)
+	c.bars = make(map[[2]int32][]collPart)
+	c.forks = make(map[int32][]collPart)
+	c.joins = make(map[int32][]collPart)
+	for li, l := range c.tr.Locs {
+		c.region[li] = make([]trace.RegionID, len(l.Events))
+		var stack []int
+		for ei, e := range l.Events {
+			if len(stack) > 0 {
+				c.region[li][ei] = l.Events[stack[len(stack)-1]].Region
+			} else {
+				c.region[li][ei] = -1
+			}
+			if ei > 0 {
+				prev := l.Events[ei-1].Time
+				if c.rep.Logical && e.Time <= prev {
+					c.violate(KindMonotonic, c.pos(li, ei), c.posPtr(li, ei-1),
+						"logical stamp %d does not exceed predecessor %d", e.Time, prev)
+				} else if !c.rep.Logical && e.Time < prev {
+					c.violate(KindMonotonic, c.pos(li, ei), c.posPtr(li, ei-1),
+						"stamp %d runs backwards from %d", e.Time, prev)
+				}
+			}
+			switch e.Kind {
+			case trace.EvEnter:
+				stack = append(stack, ei)
+			case trace.EvExit:
+				if len(stack) == 0 {
+					c.violate(KindUnbalanced, c.pos(li, ei), nil, "exit without matching enter")
+					continue
+				}
+				stack = stack[:len(stack)-1]
+			case trace.EvSend:
+				k := chanKey{int32(l.Rank), e.A, e.B}
+				c.sends[k] = append(c.sends[k], ref{li, ei})
+			case trace.EvCollEnd:
+				enter := ei
+				if len(stack) > 0 {
+					enter = stack[len(stack)-1]
+				}
+				part := collPart{loc: li, idx: ei, enter: enter, name: c.regionName(li, ei)}
+				c.colls[[2]int32{e.A, e.B}] = append(c.colls[[2]int32{e.A, e.B}], part)
+			case trace.EvBarrier:
+				part := collPart{loc: li, idx: ei, enter: ei, name: c.regionName(li, ei)}
+				c.bars[[2]int32{int32(l.Rank), e.B}] = append(c.bars[[2]int32{int32(l.Rank), e.B}], part)
+			case trace.EvFork:
+				if l.Thread != 0 {
+					c.violate(KindForkJoin, c.pos(li, ei), nil, "fork recorded on worker thread")
+				}
+				c.forks[int32(l.Rank)] = append(c.forks[int32(l.Rank)], collPart{loc: li, idx: ei})
+			case trace.EvJoin:
+				if l.Thread != 0 {
+					c.violate(KindForkJoin, c.pos(li, ei), nil, "join recorded on worker thread")
+				}
+				c.joins[int32(l.Rank)] = append(c.joins[int32(l.Rank)], collPart{loc: li, idx: ei})
+			}
+		}
+		if len(stack) > 0 {
+			c.violate(KindUnbalanced, c.pos(li, stack[len(stack)-1]), nil,
+				"%d region(s) never exited before end of stream", len(stack))
+		}
+	}
+}
+
+func (c *checker) regionName(li, ei int) string {
+	if reg := c.region[li][ei]; reg >= 0 && int(reg) < len(c.tr.Regions) {
+		return c.tr.Regions[reg].Name
+	}
+	return ""
+}
+
+// matchMessages pairs receives with sends FIFO per (src, dst, tag)
+// channel, emitting one edge per matched pair, one unmatched-recv
+// violation per receive that has no send, and one orphan-send violation
+// per send never consumed (the signature of a dropped receive).
+func (c *checker) matchMessages() {
+	pending := make(map[chanKey][]ref, len(c.sends))
+	for k, v := range c.sends {
+		pending[k] = v
+	}
+	for li, l := range c.tr.Locs {
+		for ei, e := range l.Events {
+			if e.Kind != trace.EvRecv {
+				continue
+			}
+			k := chanKey{e.A, int32(l.Rank), e.B}
+			q := pending[k]
+			if len(q) == 0 {
+				c.violate(KindUnmatchedRecv, c.pos(li, ei), nil,
+					"no matching send on channel src=%d dst=%d tag=%d", e.A, l.Rank, e.B)
+				continue
+			}
+			c.edges = append(c.edges, vclock.Edge{
+				From: vclock.EventRef{Loc: q[0].loc, Index: q[0].idx},
+				To:   vclock.EventRef{Loc: li, Index: ei},
+			})
+			pending[k] = q[1:]
+		}
+	}
+	keys := make([]chanKey, 0, len(pending))
+	for k := range pending {
+		if len(pending[k]) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		if a.dst != b.dst {
+			return a.dst < b.dst
+		}
+		return a.tag < b.tag
+	})
+	for _, k := range keys {
+		for _, s := range pending[k] {
+			c.violate(KindOrphanSend, c.pos(s.loc, s.idx), nil,
+				"send to rank %d tag %d never received (dropped receive?)", k.dst, k.tag)
+		}
+	}
+}
+
+// checkCollectives verifies per-location sequence ordering, full and
+// exactly-once participation, and operation-name agreement for every
+// collective instance, then emits the all-to-all release edges.
+func (c *checker) checkCollectives() {
+	keys := sortedKeys2(c.colls)
+	// Communicator membership: every location that ever participates.
+	members := make(map[int32]map[int]bool)
+	perLocSeqs := make(map[int32]map[int][]int32) // comm -> loc -> seqs in stream order
+	for _, k := range keys {
+		comm := k[0]
+		if members[comm] == nil {
+			members[comm] = make(map[int]bool)
+			perLocSeqs[comm] = make(map[int][]int32)
+		}
+		for _, p := range c.colls[k] {
+			members[comm][p.loc] = true
+		}
+	}
+	// Stream-order seq observation per (comm, loc): re-scan events so
+	// order reflects the location's stream, not the grouping.
+	for li, l := range c.tr.Locs {
+		for _, e := range l.Events {
+			if e.Kind == trace.EvCollEnd {
+				perLocSeqs[e.A][li] = append(perLocSeqs[e.A][li], e.B)
+			}
+		}
+	}
+	comms := make([]int32, 0, len(members))
+	for comm := range members {
+		comms = append(comms, comm)
+	}
+	sort.Slice(comms, func(i, j int) bool { return comms[i] < comms[j] })
+	for _, comm := range comms {
+		locs := sortedInts(members[comm])
+		for _, li := range locs {
+			seqs := perLocSeqs[comm][li]
+			for i, s := range seqs {
+				if int32(i) != s {
+					pos := c.findColl(li, comm, s)
+					c.violate(KindCollOrder, pos, nil,
+						"rank %d observes comm %d instance seq %d at position %d (expected seq %d)",
+						c.tr.Locs[li].Rank, comm, s, i, i)
+					break
+				}
+			}
+		}
+	}
+	for _, k := range keys {
+		comm, seq := k[0], k[1]
+		parts := c.colls[k]
+		seen := make(map[int]int)
+		for _, p := range parts {
+			seen[p.loc]++
+		}
+		first := parts[0]
+		for _, li := range sortedInts(members[comm]) {
+			switch n := seen[li]; {
+			case n == 0:
+				c.violate(KindCollParticipant, c.pos(first.loc, first.idx), nil,
+					"rank %d missing from comm %d collective instance seq %d",
+					c.tr.Locs[li].Rank, comm, seq)
+			case n > 1:
+				c.violate(KindCollParticipant, c.pos(first.loc, first.idx), nil,
+					"rank %d participates %d times in comm %d instance seq %d",
+					c.tr.Locs[li].Rank, n, comm, seq)
+			}
+		}
+		for _, p := range parts[1:] {
+			if p.name != first.name {
+				c.violate(KindCollParticipant, c.pos(p.loc, p.idx), c.posPtr(first.loc, first.idx),
+					"operation %q does not match %q on comm %d instance seq %d",
+					p.name, first.name, comm, seq)
+			}
+		}
+		c.allToAll(parts)
+	}
+}
+
+// findColl locates the CollEnd record of (comm, seq) on a location for
+// violation reporting.
+func (c *checker) findColl(li int, comm, seq int32) EventPos {
+	for ei, e := range c.tr.Locs[li].Events {
+		if e.Kind == trace.EvCollEnd && e.A == comm && e.B == seq {
+			return c.pos(li, ei)
+		}
+	}
+	return EventPos{Loc: li, Rank: c.tr.Locs[li].Rank, Thread: c.tr.Locs[li].Thread}
+}
+
+// allToAll emits the release edges of one collective or barrier
+// instance: every participant's exit happens after every participant's
+// contribution.
+func (c *checker) allToAll(parts []collPart) {
+	for _, a := range parts {
+		for _, b := range parts {
+			if a.loc == b.loc {
+				continue
+			}
+			c.edges = append(c.edges, vclock.Edge{
+				From: vclock.EventRef{Loc: a.loc, Index: a.enter},
+				To:   vclock.EventRef{Loc: b.loc, Index: exitAfter(c.tr.Locs[b.loc].Events, b.idx)},
+			})
+		}
+	}
+}
+
+// checkBarriers verifies that each OpenMP barrier instance is reached by
+// the full team in per-thread sequence order, then emits its edges.
+func (c *checker) checkBarriers() {
+	// Per-location barrier sequence order.
+	for li, l := range c.tr.Locs {
+		next := int32(0)
+		for ei, e := range l.Events {
+			if e.Kind != trace.EvBarrier {
+				continue
+			}
+			if e.B != next {
+				c.violate(KindBarrier, c.pos(li, ei), nil,
+					"barrier seq %d observed where seq %d was expected", e.B, next)
+				next = e.B + 1
+				continue
+			}
+			next++
+		}
+	}
+	teamSize := make(map[int32]int) // rank -> location count
+	for _, l := range c.tr.Locs {
+		teamSize[int32(l.Rank)]++
+	}
+	for _, k := range sortedKeys2(c.bars) {
+		rank, seq := k[0], k[1]
+		parts := c.bars[k]
+		want := int(c.tr.Locs[parts[0].loc].Events[parts[0].idx].A)
+		for _, p := range parts[1:] {
+			if got := int(c.tr.Locs[p.loc].Events[p.idx].A); got != want {
+				c.violate(KindBarrier, c.pos(p.loc, p.idx), c.posPtr(parts[0].loc, parts[0].idx),
+					"team size %d disagrees with %d for barrier seq %d", got, want, seq)
+			}
+		}
+		if want > teamSize[rank] {
+			want = teamSize[rank] // a truncated trace cannot have more locations than recorded
+		}
+		if len(parts) != want {
+			c.violate(KindBarrier, c.pos(parts[0].loc, parts[0].idx), nil,
+				"%d of %d threads reached barrier seq %d on rank %d", len(parts), want, seq, rank)
+		}
+		c.allToAll(parts)
+	}
+}
+
+// checkForkJoin verifies strict fork/join alternation with matching
+// sequence numbers per rank and emits the fork and join edges using the
+// worker-cursor reconstruction (workers only have events inside parallel
+// regions, so their next unclaimed region belongs to the next fork).
+func (c *checker) checkForkJoin() {
+	ranks := make([]int32, 0, len(c.forks))
+	seen := make(map[int32]bool)
+	for r := range c.forks {
+		ranks = append(ranks, r)
+		seen[r] = true
+	}
+	for r := range c.joins {
+		if !seen[r] {
+			ranks = append(ranks, r)
+		}
+	}
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+
+	workerCursor := make(map[int]int)
+	for _, rank := range ranks {
+		forks, joins := c.forks[rank], c.joins[rank]
+		// Alternation and sequence checks on the master stream.
+		for i, f := range forks {
+			if seq := c.tr.Locs[f.loc].Events[f.idx].B; int32(i) != seq {
+				c.violate(KindForkJoin, c.pos(f.loc, f.idx), nil,
+					"fork seq %d observed where seq %d was expected", seq, i)
+			}
+		}
+		for i, j := range joins {
+			if seq := c.tr.Locs[j.loc].Events[j.idx].B; int32(i) != seq {
+				c.violate(KindForkJoin, c.pos(j.loc, j.idx), nil,
+					"join seq %d observed where seq %d was expected", seq, i)
+			}
+		}
+		switch {
+		case len(joins) > len(forks):
+			j := joins[len(forks)]
+			c.violate(KindForkJoin, c.pos(j.loc, j.idx), nil,
+				"join without a preceding fork (%d joins, %d forks)", len(joins), len(forks))
+		case len(forks) > len(joins):
+			f := forks[len(joins)]
+			c.violate(KindForkJoin, c.pos(f.loc, f.idx), nil,
+				"fork never joined (%d forks, %d joins)", len(forks), len(joins))
+		}
+		for i := 0; i < len(forks) && i < len(joins); i++ {
+			if forks[i].loc == joins[i].loc && joins[i].idx < forks[i].idx {
+				c.violate(KindForkJoin, c.pos(joins[i].loc, joins[i].idx), c.posPtr(forks[i].loc, forks[i].idx),
+					"join seq %d precedes its fork in the master stream", i)
+			}
+		}
+		// Edges, processing forks in sequence order.
+		for i, f := range forks {
+			for li, l := range c.tr.Locs {
+				if int32(l.Rank) != rank || l.Thread == 0 {
+					continue
+				}
+				cur := workerCursor[li]
+				if cur < len(l.Events) {
+					c.edges = append(c.edges, vclock.Edge{
+						From: vclock.EventRef{Loc: f.loc, Index: f.idx},
+						To:   vclock.EventRef{Loc: li, Index: cur},
+					})
+					workerCursor[li] = regionEnd(l.Events, cur) + 1
+				}
+			}
+			if i < len(joins) {
+				j := joins[i]
+				for li, l := range c.tr.Locs {
+					if int32(l.Rank) != rank || l.Thread == 0 {
+						continue
+					}
+					if end := workerCursor[li] - 1; end >= 0 && end < len(l.Events) {
+						c.edges = append(c.edges, vclock.Edge{
+							From: vclock.EventRef{Loc: li, Index: end},
+							To:   vclock.EventRef{Loc: j.loc, Index: j.idx},
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkEdges verifies the Lamport clock condition (and the piggyback
+// gain) on every reconstructed synchronisation edge of a logical trace.
+func (c *checker) checkEdges() {
+	if !c.rep.Logical {
+		return
+	}
+	for _, e := range c.edges {
+		from := c.tr.Locs[e.From.Loc].Events[e.From.Index].Time
+		to := c.tr.Locs[e.To.Loc].Events[e.To.Index].Time
+		switch {
+		case to <= from:
+			c.violate(KindClockCondition, c.pos(e.To.Loc, e.To.Index), c.posPtr(e.From.Loc, e.From.Index),
+				"edge target stamp %d does not exceed source stamp %d", to, from)
+		case to == from+1:
+			c.violate(KindPiggyback, c.pos(e.To.Loc, e.To.Index), c.posPtr(e.From.Loc, e.From.Index),
+				"synchronisation gained only one tick (%d -> %d); piggyback apparently not folded in", from, to)
+		}
+	}
+}
+
+// vectorAudit computes full vector clocks from the reconstructed edges
+// and checks the clock condition transitively on sampled event pairs —
+// the belt-and-braces pass that would catch an edge set too weak to
+// imply the full happens-before relation.
+func (c *checker) vectorAudit() {
+	if c.rep.Events*len(c.tr.Locs) > c.opt.MaxVectorCells {
+		return
+	}
+	clocks, err := vclock.ComputeFromEdges(c.tr, c.edges)
+	if err != nil {
+		c.violate(KindCycle, EventPos{Loc: -1, Index: -1}, nil,
+			"vector-clock replay failed: %v", err)
+		return
+	}
+	if !c.rep.Logical {
+		return
+	}
+	samples := make([][]int, len(c.tr.Locs))
+	for li, l := range c.tr.Locs {
+		n := len(l.Events)
+		if n == 0 {
+			continue
+		}
+		k := c.opt.SamplesPerLoc
+		if k > n {
+			k = n
+		}
+		step := 1
+		if k > 1 {
+			step = k - 1
+		}
+		for i := 0; i < k; i++ {
+			samples[li] = append(samples[li], i*(n-1)/step)
+		}
+	}
+	for la := range c.tr.Locs {
+		for lb := range c.tr.Locs {
+			if la == lb {
+				continue
+			}
+			for _, ia := range samples[la] {
+				for _, ib := range samples[lb] {
+					a := vclock.EventRef{Loc: la, Index: ia}
+					b := vclock.EventRef{Loc: lb, Index: ib}
+					c.rep.SampledPairs++
+					if clocks.HappensBefore(a, b) {
+						ta := c.tr.Locs[la].Events[ia].Time
+						tb := c.tr.Locs[lb].Events[ib].Time
+						if ta >= tb {
+							c.violate(KindClockCondition, c.pos(lb, ib), c.posPtr(la, ia),
+								"transitively ordered pair has stamps %d -> %d", ta, tb)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// exitAfter finds the index of the Exit event closing the region that
+// contains index i (mirrors vclock's edge semantics).
+func exitAfter(events []trace.Event, i int) int {
+	depth := 0
+	for j := i + 1; j < len(events); j++ {
+		switch events[j].Kind {
+		case trace.EvEnter:
+			depth++
+		case trace.EvExit:
+			if depth == 0 {
+				return j
+			}
+			depth--
+		}
+	}
+	return len(events) - 1
+}
+
+// regionEnd returns the index of the Exit balancing the Enter at start.
+func regionEnd(events []trace.Event, start int) int {
+	depth := 0
+	for j := start; j < len(events); j++ {
+		switch events[j].Kind {
+		case trace.EvEnter:
+			depth++
+		case trace.EvExit:
+			depth--
+			if depth == 0 {
+				return j
+			}
+		}
+	}
+	return len(events) - 1
+}
+
+func sortedKeys2(m map[[2]int32][]collPart) [][2]int32 {
+	keys := make([][2]int32, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	return keys
+}
+
+func sortedInts(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

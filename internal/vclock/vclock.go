@@ -76,6 +76,14 @@ func Compute(tr *trace.Trace) (*Clocks, error) {
 	if err != nil {
 		return nil, err
 	}
+	return ComputeFromEdges(tr, edges)
+}
+
+// ComputeFromEdges assigns vector timestamps given an explicit
+// synchronisation-edge set — the hook for analyses (internal/tracecheck)
+// that reconstruct edges tolerantly from partially broken traces instead
+// of failing on the first unmatched receive the way matchEdges does.
+func ComputeFromEdges(tr *trace.Trace, edges []Edge) (*Clocks, error) {
 	// Group incoming edges per target event.
 	incoming := make(map[EventRef][]EventRef)
 	for _, e := range edges {
@@ -237,7 +245,22 @@ func matchEdges(tr *trace.Trace) ([]Edge, error) {
 	// worker's next event after the previous join (workers only have
 	// events inside regions, so their next unclaimed event is correct).
 	workerCursor := make(map[int]int)
-	for key, f := range forks {
+	// The cursor reconstruction consumes worker regions in fork order, so
+	// forks MUST be processed sorted by (rank, seq) — map iteration order
+	// would match workers' regions to the wrong instances, and differently
+	// on every run.
+	forkKeys := make([][2]int32, 0, len(forks))
+	for key := range forks {
+		forkKeys = append(forkKeys, key)
+	}
+	sort.Slice(forkKeys, func(i, j int) bool {
+		if forkKeys[i][0] != forkKeys[j][0] {
+			return forkKeys[i][0] < forkKeys[j][0]
+		}
+		return forkKeys[i][1] < forkKeys[j][1]
+	})
+	for _, key := range forkKeys {
+		f := forks[key]
 		rank := int(key[0])
 		for li, l := range tr.Locs {
 			if l.Rank != rank || l.Thread == 0 {

@@ -133,3 +133,36 @@ func TestDeadlockWaitGraph(t *testing.T) {
 		}
 	}
 }
+
+// The wall-clock budget must be testable without real elapsed time: the
+// kernel reads the host clock only through the injectable nowFunc, so a
+// fake clock that jumps forward per read trips the budget deterministically.
+func TestWatchdogWallBudgetInjectedClock(t *testing.T) {
+	defer func(orig func() time.Time) { nowFunc = orig }(nowFunc)
+	fake := time.Unix(0, 0)
+	nowFunc = func() time.Time {
+		fake = fake.Add(time.Second)
+		return fake
+	}
+	k := NewKernel()
+	k.SetWatchdog(Watchdog{MaxWall: time.Minute})
+	k.Spawn("spinner", func(a *Actor) {
+		for i := 0; i < 100_000; i++ {
+			a.Sleep(1e-9)
+		}
+	})
+	err := k.Run()
+	var we *WatchdogError
+	if !errors.As(err, &we) {
+		t.Fatalf("want *WatchdogError, got %T: %v", err, err)
+	}
+	if !strings.Contains(we.Reason, "wall-clock budget") {
+		t.Fatalf("unexpected reason %q", we.Reason)
+	}
+	// The fake clock advances one second per read; the amortised check
+	// (every 256 steps) must still have caught the budget long before
+	// the spinner finished.
+	if we.Steps >= 100_000 {
+		t.Fatalf("watchdog never fired under the fake clock (steps=%d)", we.Steps)
+	}
+}
