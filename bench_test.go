@@ -7,18 +7,11 @@
 package repro
 
 import (
-	"bytes"
 	"io"
 	"testing"
 
-	"repro/internal/core"
+	"repro/internal/bench"
 	"repro/internal/experiment"
-	"repro/internal/machine"
-	"repro/internal/noise"
-	"repro/internal/scalasca"
-	"repro/internal/trace"
-	"repro/internal/vtime"
-	"repro/internal/work"
 )
 
 // benchOpts are the study options used by the table/figure benchmarks.
@@ -136,90 +129,51 @@ func benchStudy(b *testing.B, workers int) {
 }
 
 // ---- substrate micro-benchmarks ----
+//
+// The workload bodies live in internal/bench, shared with cmd/ltbench so
+// that `go test -bench` and the committed BENCH_<label>.json trajectory
+// files measure identical code.
+
+func benchWorkload(b *testing.B, name string) {
+	b.Helper()
+	ins, err := bench.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ins.Op(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkKernelSharedResource measures the virtual-time kernel's
 // scheduling throughput with contending actions.
 func BenchmarkKernelSharedResource(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		k := vtime.NewKernel()
-		bw := k.NewResource("bw", 100)
-		for a := 0; a < 16; a++ {
-			k.Spawn("s", func(ac *vtime.Actor) {
-				for j := 0; j < 100; j++ {
-					ac.Execute(vtime.Action{Work: 1, Res: bw, ResPerUnit: 1})
-				}
-			})
-		}
-		if err := k.Run(); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkAnalyzer measures trace-analysis throughput on a LULESH-1
-// quick trace (events/op reported via b.N scaling).
-func BenchmarkAnalyzer(b *testing.B) {
-	spec, err := experiment.SpecByName("LULESH-1", experiment.Options{Quick: true})
-	if err != nil {
-		b.Fatal(err)
-	}
-	res, err := experiment.Run(spec, core.ModeStmt, 1, noise.Cluster(), false)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := scalasca.Analyze(res.Trace); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkTraceRoundTrip measures binary trace serialisation.
-func BenchmarkTraceRoundTrip(b *testing.B) {
-	spec, err := experiment.SpecByName("MiniFE-1", experiment.Options{Quick: true})
-	if err != nil {
-		b.Fatal(err)
-	}
-	res, err := experiment.Run(spec, core.ModeLt1, 1, noise.Params{}, false)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		var buf bytes.Buffer
-		if err := res.Trace.Write(&buf); err != nil {
-			b.Fatal(err)
-		}
-		if _, err := trace.Read(&buf); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchWorkload(b, "KernelSharedResource")
 }
 
 // BenchmarkMachineContention measures the fluid model under NUMA-domain
 // contention (16 streams on one domain).
 func BenchmarkMachineContention(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		k := vtime.NewKernel()
-		m := machine.New(k, machine.Jureca(1))
-		m.AddWorkingSet(0, 1e9)
-		for c := 0; c < 16; c++ {
-			core := machine.CoreID(c)
-			k.Spawn("t", func(a *vtime.Actor) {
-				for j := 0; j < 50; j++ {
-					m.Exec(a, core, benchCost, nil)
-				}
-			})
-		}
-		if err := k.Run(); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchWorkload(b, "MachineContention")
 }
 
-var benchCost = work.Cost{Instr: 1e6, Flops: 1e6, Bytes: 1e6}
+// BenchmarkTraceRecord measures the measurement system's per-event
+// recording hot path.
+func BenchmarkTraceRecord(b *testing.B) {
+	benchWorkload(b, "TraceRecord")
+}
+
+// BenchmarkAnalyzer measures trace-analysis throughput on a LULESH-1
+// quick trace.
+func BenchmarkAnalyzer(b *testing.B) {
+	benchWorkload(b, "Analyzer")
+}
+
+// BenchmarkTraceRoundTrip measures binary trace serialisation.
+func BenchmarkTraceRoundTrip(b *testing.B) {
+	benchWorkload(b, "TraceRoundTrip")
+}

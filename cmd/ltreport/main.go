@@ -10,6 +10,7 @@
 //	ltreport -j 4            # at most 4 parallel simulations
 //	ltreport -cache ~/.ltcache             # reuse cached repetitions
 //	ltreport -fault-study MiniFE-1         # fault-resilience table
+//	ltreport -table 1 -cpuprofile cpu.pprof  # profile the hot path
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/faults"
+	"repro/internal/profiling"
 	"repro/internal/runcache"
 )
 
@@ -35,7 +37,10 @@ func main() {
 	cacheDir := flag.String("cache", "", "serve repetitions from a run cache in this directory")
 	faultCfg := flag.String("fault-study", "", "run the fault-resilience study on this configuration and exit")
 	faultSpec := flag.String("faults", "", "fault plan for -fault-study (default: auto-sized one-off delay)")
+	prof := profiling.AddFlags()
 	flag.Parse()
+	prof.Start()
+	defer prof.Stop()
 
 	opts := experiment.StudyOptions{Reps: *reps, BaseSeed: *seed, Workers: *workers}
 	if *cacheDir != "" {

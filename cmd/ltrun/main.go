@@ -7,6 +7,7 @@
 //	ltrun -config TeaLeaf-2 -mode tsc -trace out.ltrc -seed 3
 //	ltrun -config LULESH-1 -mode ""        # uninstrumented reference
 //	ltrun -config MiniFE-1 -faults "oneoff:rank=2,at=0.01,delay=0.005"
+//	ltrun -config MiniFE-1 -cpuprofile cpu.pprof -memprofile mem.pprof
 //	ltrun -list                            # show configurations
 package main
 
@@ -21,6 +22,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/measure"
 	"repro/internal/noise"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -37,7 +39,10 @@ func main() {
 	traceOut := flag.String("trace", "", "write the binary trace here")
 	profOut := flag.String("profile", "", "write the analysis profile (JSON) here")
 	list := flag.Bool("list", false, "list configurations and exit")
+	prof := profiling.AddFlags()
 	flag.Parse()
+	prof.Start()
+	defer prof.Stop()
 
 	specOpts := experiment.Options{Quick: *quick}
 	if *list {

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/machine"
+	"repro/internal/noise"
+	"repro/internal/scalasca"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+	"repro/internal/work"
+)
+
+// Workload is one named benchmark whose setup may be expensive; Make
+// prepares an Instance that can be timed repeatedly.
+type Workload struct {
+	Name string
+	Desc string
+	Make func() (*Instance, error)
+}
+
+// contentionCost mirrors bench_test.go's benchCost: one memory-heavy
+// work quantum that keeps 16 streams contending on a NUMA domain.
+var contentionCost = work.Cost{Instr: 1e6, Flops: 1e6, Bytes: 1e6}
+
+// Workloads returns the substrate and study benchmarks in reporting
+// order.  The first four are the kernel-level micro-benchmarks whose
+// ns/op and allocs/op are the scoreboard for scheduler optimisations;
+// the study pair measures the end-to-end pipeline they multiply into.
+func Workloads() []Workload {
+	return []Workload{
+		{
+			Name: "KernelSharedResource",
+			Desc: "16 actors x 100 contending actions through the vtime kernel",
+			Make: kernelSharedResource,
+		},
+		{
+			Name: "MachineContention",
+			Desc: "16 streams x 50 quanta on one NUMA domain (fluid model)",
+			Make: machineContention,
+		},
+		{
+			Name: "TraceRecord",
+			Desc: "record enter/exit event pairs into a trace stream",
+			Make: traceRecord,
+		},
+		{
+			Name: "Analyzer",
+			Desc: "scalasca replay of a LULESH-1 quick trace",
+			Make: analyzer,
+		},
+		{
+			Name: "TraceRoundTrip",
+			Desc: "binary serialise + parse of a MiniFE-1 quick trace",
+			Make: traceRoundTrip,
+		},
+		{
+			Name: "StudySequential",
+			Desc: "MiniFE-1 quick study (2 reps, all modes), 1 worker",
+			Make: func() (*Instance, error) { return studyRunner(1) },
+		},
+		{
+			Name: "StudyPooled4",
+			Desc: "MiniFE-1 quick study (2 reps, all modes), 4 workers",
+			Make: func() (*Instance, error) { return studyRunner(4) },
+		},
+	}
+}
+
+// ByName returns the named workload's prepared instance.
+func ByName(name string) (*Instance, error) {
+	for _, w := range Workloads() {
+		if w.Name == name {
+			return w.Make()
+		}
+	}
+	return nil, fmt.Errorf("bench: unknown workload %q", name)
+}
+
+func kernelSharedResource() (*Instance, error) {
+	const actors, actions = 16, 100
+	return &Instance{
+		Events: actors * actions,
+		Op: func() error {
+			k := vtime.NewKernel()
+			bw := k.NewResource("bw", 100)
+			for a := 0; a < actors; a++ {
+				k.Spawn("s", func(ac *vtime.Actor) {
+					for j := 0; j < actions; j++ {
+						ac.Execute(vtime.Action{Work: 1, Res: bw, ResPerUnit: 1})
+					}
+				})
+			}
+			return k.Run()
+		},
+	}, nil
+}
+
+func machineContention() (*Instance, error) {
+	const streams, quanta = 16, 50
+	return &Instance{
+		Events: streams * quanta,
+		Op: func() error {
+			k := vtime.NewKernel()
+			m := machine.New(k, machine.Jureca(1))
+			m.AddWorkingSet(0, 1e9)
+			for c := 0; c < streams; c++ {
+				core := machine.CoreID(c)
+				k.Spawn("t", func(a *vtime.Actor) {
+					for j := 0; j < quanta; j++ {
+						m.Exec(a, core, contentionCost, nil)
+					}
+				})
+			}
+			return k.Run()
+		},
+	}, nil
+}
+
+func traceRecord() (*Instance, error) {
+	const pairs = 4096
+	tr := trace.New("bench")
+	reg := tr.Region("region", trace.RoleUser)
+	l := tr.AddLocation(0, 0)
+	return &Instance{
+		Events: 2 * pairs,
+		Op: func() error {
+			tr.ResetEvents()
+			for i := uint64(0); i < pairs; i++ {
+				tr.Record(l, trace.Event{Kind: trace.EvEnter, Time: 2 * i, Region: reg})
+				tr.Record(l, trace.Event{Kind: trace.EvExit, Time: 2*i + 1, Region: reg})
+			}
+			return nil
+		},
+	}, nil
+}
+
+func analyzer() (*Instance, error) {
+	spec, err := experiment.SpecByName("LULESH-1", experiment.Options{Quick: true})
+	if err != nil {
+		return nil, err
+	}
+	res, err := experiment.Run(spec, core.ModeStmt, 1, noise.Cluster(), false)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{
+		Events: int64(res.Trace.NumEvents()),
+		Op: func() error {
+			_, err := scalasca.Analyze(res.Trace)
+			return err
+		},
+	}, nil
+}
+
+func traceRoundTrip() (*Instance, error) {
+	spec, err := experiment.SpecByName("MiniFE-1", experiment.Options{Quick: true})
+	if err != nil {
+		return nil, err
+	}
+	res, err := experiment.Run(spec, core.ModeLt1, 1, noise.Params{}, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{
+		Events: int64(res.Trace.NumEvents()),
+		Op: func() error {
+			var buf bytes.Buffer
+			if err := res.Trace.Write(&buf); err != nil {
+				return err
+			}
+			_, err := trace.Read(&buf)
+			return err
+		},
+	}, nil
+}
+
+func studyRunner(workers int) (*Instance, error) {
+	spec, err := experiment.SpecByName("MiniFE-1", experiment.Options{Quick: true})
+	if err != nil {
+		return nil, err
+	}
+	opts := experiment.StudyOptions{Reps: 2, BaseSeed: 1, Workers: workers}
+	return &Instance{
+		Op: func() error {
+			_, err := experiment.RunStudy(spec, opts)
+			return err
+		},
+	}, nil
+}

@@ -1,0 +1,115 @@
+package experiment
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"os"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/noise"
+)
+
+// updateGolden rewrites testdata/golden_sha256.json from the current
+// simulation output.  Run it ONLY when a PR deliberately changes
+// simulation semantics (and bump pool.go's cacheCodeVersion in the same
+// commit):
+//
+//	go test ./internal/experiment -run TestGoldenChecksums -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden trace/profile checksums")
+
+const goldenPath = "testdata/golden_sha256.json"
+
+// goldenSums is the committed fingerprint of one (app, mode) run: the
+// sha256 of the serialised trace and of the serialised analysis profile.
+type goldenSums struct {
+	Trace   string `json:"trace"`
+	Profile string `json:"profile"`
+}
+
+// TestGoldenChecksums replays one quick configuration per mini-app with
+// every timer mode at seed 1 and demands the serialised trace and cube
+// profile stay byte-for-byte identical to the committed checksums.  This
+// is the tier-1 tripwire for kernel "optimisations": the deferred
+// dirty-set resettling, the index-based detach and every future perf
+// pass must be exact, not approximately right — any drift in event
+// timestamps, completion order or analysis severities fails here instead
+// of silently skewing the paper's tables.
+func TestGoldenChecksums(t *testing.T) {
+	apps := []string{"MiniFE-1", "LULESH-1", "TeaLeaf-1"}
+	got := make(map[string]goldenSums)
+	for _, app := range apps {
+		spec, err := SpecByName(app, Options{Quick: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range core.AllModes() {
+			res, err := Run(spec, mode, 1, noise.Cluster(), true)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", app, mode, err)
+			}
+			th := sha256.New()
+			if err := res.Trace.Write(th); err != nil {
+				t.Fatalf("%s/%s: serialising trace: %v", app, mode, err)
+			}
+			ph := sha256.New()
+			if err := res.Profile.Write(ph); err != nil {
+				t.Fatalf("%s/%s: serialising profile: %v", app, mode, err)
+			}
+			got[app+"/"+string(mode)] = goldenSums{
+				Trace:   hex.EncodeToString(th.Sum(nil)),
+				Profile: hex.EncodeToString(ph.Sum(nil)),
+			}
+		}
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d entries", goldenPath, len(got))
+		return
+	}
+
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden checksums (regenerate with -update-golden): %v", err)
+	}
+	var want map[string]goldenSums
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("parsing %s: %v", goldenPath, err)
+	}
+	keys := make([]string, 0, len(want))
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		g, ok := got[k]
+		if !ok {
+			t.Errorf("%s: committed checksum has no counterpart in this run (mode list changed?)", k)
+			continue
+		}
+		if g.Trace != want[k].Trace {
+			t.Errorf("%s: trace bytes drifted from the golden kernel output\n  got  %s\n  want %s",
+				k, g.Trace, want[k].Trace)
+		}
+		if g.Profile != want[k].Profile {
+			t.Errorf("%s: profile bytes drifted from the golden kernel output\n  got  %s\n  want %s",
+				k, g.Profile, want[k].Profile)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("run produced %d (app, mode) entries, golden file has %d", len(got), len(want))
+	}
+}

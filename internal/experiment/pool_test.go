@@ -152,6 +152,36 @@ func TestScalingIdenticalAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// Property for the deferred dirty-set resettling under parallel
+// execution: a study whose fault plan drives capacity windows
+// (LinkDegrade/MemDegrade collapse and restore resource capacity from
+// Post callbacks, landing on resources already dirtied by detaches at
+// the same instant) is deep-equal — trace bytes and profile metrics —
+// between a sequential run and a four-worker pool.
+func TestCapacityWindowStudyIdenticalPooled(t *testing.T) {
+	spec := tinySpec()
+	plan := faults.Plan{Faults: []faults.Fault{
+		{Kind: faults.MemDegrade, Domain: 0, At: 1e-4, Duration: 2e-3, Factor: 0.25},
+		{Kind: faults.LinkDegrade, Node: 0, At: 2e-4, Duration: 1e-3, Factor: 0.5},
+	}}
+	opts := StudyOptions{
+		Reps: 2, BaseSeed: 9,
+		Modes:  []core.Mode{core.ModeTSC, core.ModeLt1},
+		Faults: &plan,
+	}
+	opts.Workers = 1
+	want, err := RunStudy(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 4
+	got, err := RunStudy(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStudiesEqual(t, want, got)
+}
+
 // Seed-independence regression: the pool must compute exactly the seeds
 // of the historical sequential protocol — BaseSeed+rep per job,
 // +retrySeedOffset on retry — or cache entries written by sequential

@@ -120,7 +120,7 @@ func (r *recorder) event(kind trace.EvKind, region trace.RegionID, a, b int32, c
 		}
 		r.bufEvents = 0
 	}
-	r.m.Trace.Append(r.locIx, trace.Event{
+	r.m.Trace.Record(r.locIx, trace.Event{
 		Kind: kind, Time: r.clock.Stamp(), Region: region, A: a, B: b, C: c,
 	})
 }

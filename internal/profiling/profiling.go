@@ -1,0 +1,68 @@
+// Package profiling wires the conventional -cpuprofile / -memprofile
+// flags into the repro CLIs, so kernel and analyzer hot spots can be
+// inspected with `go tool pprof` on exactly the workload a paper run
+// executes (the same flags the ltbench harness measures around).
+package profiling
+
+import (
+	"flag"
+	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the registered profiling flag values.
+type Flags struct {
+	cpu, mem *string
+	cpuFile  *os.File
+}
+
+// AddFlags registers -cpuprofile and -memprofile on the default flag
+// set.  Call before flag.Parse.
+func AddFlags() *Flags {
+	return &Flags{
+		cpu: flag.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem: flag.String("memprofile", "", "write an allocation profile to this file on exit"),
+	}
+}
+
+// Start begins CPU profiling when requested.  Call after flag.Parse.
+func (f *Flags) Start() {
+	if *f.cpu == "" {
+		return
+	}
+	file, err := os.Create(*f.cpu)
+	if err != nil {
+		log.Fatalf("-cpuprofile: %v", err)
+	}
+	if err := pprof.StartCPUProfile(file); err != nil {
+		log.Fatalf("-cpuprofile: %v", err)
+	}
+	f.cpuFile = file
+}
+
+// Stop flushes the profiles.  Defer it right after Start; it is a no-op
+// for flags that were not set.
+func (f *Flags) Stop() {
+	if f.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := f.cpuFile.Close(); err != nil {
+			log.Printf("-cpuprofile: %v", err)
+		}
+		f.cpuFile = nil
+	}
+	if *f.mem != "" {
+		file, err := os.Create(*f.mem)
+		if err != nil {
+			log.Fatalf("-memprofile: %v", err)
+		}
+		runtime.GC() // materialise the final live-heap numbers
+		if err := pprof.WriteHeapProfile(file); err != nil {
+			log.Fatalf("-memprofile: %v", err)
+		}
+		if err := file.Close(); err != nil {
+			log.Fatalf("-memprofile: %v", err)
+		}
+	}
+}

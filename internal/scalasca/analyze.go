@@ -58,9 +58,14 @@ type analysis struct {
 	recvs []recvRec
 	colls map[[2]int32][]collPart // (comm, seq) -> participants
 	bars  map[[2]int32][]barPart  // (rank, seq) -> threads
-	comp  map[int][]compInterval  // loc -> intervals (time-ordered)
+	comp  [][]compInterval        // loc -> intervals (time-ordered)
 
 	teamSize map[int]int // rank -> thread count
+
+	// stack is the replay call stack, shared across scanLocation calls so
+	// the frames — and each frame's sendIdx buffer — are reused instead of
+	// reallocated per location.
+	stack []frame
 }
 
 // Analyze replays a trace and produces the analysis profile.  Severities
@@ -77,9 +82,24 @@ func Analyze(tr *trace.Trace) (*cube.Profile, error) {
 		m:        buildMetrics(prof),
 		colls:    make(map[[2]int32][]collPart),
 		bars:     make(map[[2]int32][]barPart),
-		comp:     make(map[int][]compInterval),
+		comp:     make([][]compInterval, len(tr.Locs)),
 		teamSize: make(map[int]int),
 	}
+	// Size the matching queues up front so the replay appends never grow
+	// them.
+	var nSend, nRecv int
+	for _, l := range tr.Locs {
+		for _, e := range l.Events {
+			switch e.Kind {
+			case trace.EvSend:
+				nSend++
+			case trace.EvRecv:
+				nRecv++
+			}
+		}
+	}
+	a.sends = make([]sendRec, 0, nSend)
+	a.recvs = make([]recvRec, 0, nRecv)
 	for _, l := range tr.Locs {
 		if l.Thread+1 > a.teamSize[l.Rank] {
 			a.teamSize[l.Rank] = l.Thread + 1
@@ -114,7 +134,7 @@ func (a *analysis) scanLocation(li int) error {
 	l := a.tr.Locs[li]
 	isMaster := l.Thread == 0
 	workers := a.teamSize[l.Rank] - 1
-	var stack []frame
+	stack := a.stack[:0]
 	var lastT float64
 	haveLast := false
 	inParallel := false
@@ -142,7 +162,16 @@ func (a *analysis) scanLocation(li int) error {
 			}
 			role := a.tr.Regions[e.Region].Role
 			path := a.prof.Path(parent, a.tr.Regions[e.Region].Name)
-			stack = append(stack, frame{path: path, role: role, enter: t, barSeq: -1})
+			if len(stack) < cap(stack) {
+				// Reuse the frame slot left by a previous pop at this
+				// depth, keeping its sendIdx buffer.
+				stack = stack[:len(stack)+1]
+				f := &stack[len(stack)-1]
+				f.path, f.role, f.enter, f.barSeq = path, role, t, -1
+				f.sendIdx = f.sendIdx[:0]
+			} else {
+				stack = append(stack, frame{path: path, role: role, enter: t, barSeq: -1})
+			}
 		case trace.EvExit:
 			if len(stack) == 0 {
 				return fmt.Errorf("scalasca: loc %d: exit without enter", li)
@@ -199,6 +228,7 @@ func (a *analysis) scanLocation(li int) error {
 			stack[len(stack)-1].barSeq = e.B
 		}
 	}
+	a.stack = stack[:0]
 	if len(stack) != 0 {
 		return fmt.Errorf("scalasca: loc %d: %d unclosed regions at end of trace", li, len(stack))
 	}

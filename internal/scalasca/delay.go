@@ -85,9 +85,18 @@ func (a *analysis) attributeDelay(metric cube.MetricID, delayer int, others []in
 				sum[p] += w
 			}
 		}
+		// Accumulate the excess total in sorted path order: summing in map
+		// iteration order makes the rounding — and so the attributed
+		// severities — vary run to run (caught by the golden byte-identity
+		// checksums).
+		paths := make([]cube.PathID, 0, len(mine))
+		for p := range mine {
+			paths = append(paths, p)
+		}
+		sort.Slice(paths, func(x, y int) bool { return paths[x] < paths[y] })
 		n := float64(len(others))
-		for p, w := range mine {
-			if e := w - sum[p]/n; e > 0 {
+		for _, p := range paths {
+			if e := mine[p] - sum[p]/n; e > 0 {
 				excess[p] = e
 				excessTotal += e
 			}

@@ -159,9 +159,33 @@ func (t *Trace) AddLocation(rank, thread int) int {
 	return len(t.Locs) - 1
 }
 
+// Record adds an event to location stream l.  It is the measurement
+// system's per-event hot path.  Growth starts at a 256-event floor so a
+// stream reaches steady state in a handful of reallocations instead of
+// crawling through append's small-slice sizes.
+func (t *Trace) Record(l int, e Event) {
+	lt := &t.Locs[l]
+	if len(lt.Events) == cap(lt.Events) {
+		grown := make([]Event, len(lt.Events), max(2*cap(lt.Events), 256))
+		copy(grown, lt.Events)
+		lt.Events = grown
+	}
+	lt.Events = append(lt.Events, e)
+}
+
 // Append adds an event to location stream l.
-func (t *Trace) Append(l int, e Event) {
-	t.Locs[l].Events = append(t.Locs[l].Events, e)
+//
+// Deprecated: Append is the old name of Record, kept for callers
+// outside the measurement hot path.
+func (t *Trace) Append(l int, e Event) { t.Record(l, e) }
+
+// ResetEvents empties every location's event stream while keeping the
+// allocated capacity, so a trace shell can be refilled without
+// reallocating its buffers (benchmark and replay harnesses).
+func (t *Trace) ResetEvents() {
+	for i := range t.Locs {
+		t.Locs[i].Events = t.Locs[i].Events[:0]
+	}
 }
 
 // NumEvents returns the total number of events across all locations.

@@ -43,9 +43,11 @@ type Action struct {
 	settled    float64 // virtual time of last progress settlement
 	finishAt   float64 // predicted completion of current phase
 	heapIndex  int
+	resIndex   int     // position in Res.members while attached
 	remaining  float64 // remaining work units
 	delayLeft  float64
 	onComplete func() // optional completion callback (used by detached actions)
+	posted     bool   // shell owned by the kernel's Post freelist
 }
 
 type actionPhase int
@@ -74,31 +76,51 @@ func (a *Action) validate() {
 	}
 }
 
+// needSorter orders a scratch copy of a resource's members by need for
+// the water-fill.  It lives on the Resource so re-sharing reuses the same
+// backing arrays, and sort.Stable on the pointer receiver avoids the
+// per-call closure and interface allocations of sort.SliceStable.  Any
+// stable sort yields the same permutation for the same keys, so swapping
+// the sort implementation cannot move a single bit of the allocation.
+type needSorter struct {
+	members []*Action
+	needs   []float64
+}
+
+func (s *needSorter) Len() int           { return len(s.members) }
+func (s *needSorter) Less(i, j int) bool { return s.needs[i] < s.needs[j] }
+func (s *needSorter) Swap(i, j int) {
+	s.members[i], s.members[j] = s.members[j], s.members[i]
+	s.needs[i], s.needs[j] = s.needs[j], s.needs[i]
+}
+
 // shareResource recomputes the work-phase rates of every member of r by
 // equal-allocation water-filling: each member receives capacity/n unless
-// its rate cap makes it need less, in which case the surplus is shared by
-// the others.  Returns without effect if the resource has no members.
+// its rate cap makes it need less (need = the allocation it could consume
+// at its rate cap), in which case the surplus is shared by the others.
+// Water-filling proceeds in ascending order of need.  Returns without
+// effect if the resource has no members.
 func shareResource(r *Resource) {
 	n := len(r.members)
 	if n == 0 {
 		return
 	}
-	// Sort a scratch copy by need (allocation the member could consume at
-	// its rate cap); water-fill in ascending order of need.
-	scratch := make([]*Action, n)
-	copy(scratch, r.members)
-	need := func(a *Action) float64 {
-		if a.RateCap == 0 {
-			return math.Inf(1)
+	s := &r.sorter
+	s.members = append(s.members[:0], r.members...)
+	s.needs = s.needs[:0]
+	for _, a := range s.members {
+		nd := math.Inf(1)
+		if a.RateCap != 0 {
+			nd = a.RateCap * a.ResPerUnit
 		}
-		return a.RateCap * a.ResPerUnit
+		s.needs = append(s.needs, nd)
 	}
-	sort.SliceStable(scratch, func(i, j int) bool { return need(scratch[i]) < need(scratch[j]) })
+	sort.Stable(s)
 	left := r.capacity
-	for i, a := range scratch {
+	for i, a := range s.members {
 		fair := left / float64(n-i)
 		alloc := fair
-		if nd := need(a); nd < alloc {
+		if nd := s.needs[i]; nd < alloc {
 			alloc = nd
 		}
 		left -= alloc

@@ -2,16 +2,37 @@ package vtime
 
 import "fmt"
 
+// actorState tracks what an actor is doing as a plain enum.  The wait-graph
+// diagnostic renders it to a string on demand; keeping the hot-path
+// assignments (Execute, yield, Cond.Wait) free of fmt/concat allocations.
+type actorState uint8
+
+const (
+	stateSpawned actorState = iota
+	stateRunning
+	stateExecuting
+	stateWaiting
+	stateDone
+	statePanicked
+)
+
 // Actor is one simulated thread of execution.  Actor methods must only be
 // called from the actor's own goroutine (that is, from within the function
 // passed to Spawn), with the exception of the read-only accessors.
 type Actor struct {
-	k      *Kernel
-	id     int
-	name   string
-	resume chan struct{}
-	done   bool
-	status string
+	k        *Kernel
+	id       int
+	name     string
+	resume   chan struct{}
+	done     bool
+	state    actorState
+	panicMsg string // set only on the statePanicked path
+
+	// act is the reusable submission slot for Execute.  An actor runs at
+	// most one action at a time and the kernel drops every reference to
+	// it before the actor resumes, so routing submissions through this
+	// field keeps the per-call Action off the heap entirely.
+	act Action
 
 	// waitingOn and blockedAt feed the kernel's wait-graph diagnostic:
 	// the condition the actor is currently blocked on (nil when
@@ -32,13 +53,35 @@ func (a *Actor) Kernel() *Kernel { return a.k }
 // Now returns the current virtual time.
 func (a *Actor) Now() float64 { return a.k.now }
 
+// statusString renders the actor's state for the wait-graph.
+func (a *Actor) statusString() string {
+	switch a.state {
+	case stateSpawned:
+		return "spawned"
+	case stateRunning:
+		return "running"
+	case stateExecuting:
+		return fmt.Sprintf("executing (delay=%g work=%g)", a.act.Delay, a.act.Work)
+	case stateWaiting:
+		if c := a.waitingOn; c != nil {
+			return "waiting on " + c.name
+		}
+		return "waiting"
+	case stateDone:
+		return "done"
+	case statePanicked:
+		return "panicked: " + a.panicMsg
+	}
+	return fmt.Sprintf("state(%d)", uint8(a.state))
+}
+
 // yield blocks the actor and hands control back to the kernel.  The actor
 // resumes when the kernel marks it runnable again.
 func (a *Actor) yield() {
 	a.checkContext()
 	a.k.yielded <- struct{}{}
 	<-a.resume
-	a.status = "running"
+	a.state = stateRunning
 }
 
 // checkContext panics if a blocking primitive is invoked on this actor
@@ -63,8 +106,9 @@ func (a *Actor) Execute(act Action) {
 		return
 	}
 	act.actor = a
-	a.status = fmt.Sprintf("executing (delay=%g work=%g)", act.Delay, act.Work)
-	a.k.submit(&act)
+	a.act = act
+	a.state = stateExecuting
+	a.k.submit(&a.act)
 	a.yield()
 }
 

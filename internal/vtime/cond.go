@@ -24,7 +24,7 @@ func (k *Kernel) NewCond(name string) *Cond {
 // Wakeups are strictly FIFO.
 func (c *Cond) Wait(a *Actor) {
 	c.waiters = append(c.waiters, a)
-	a.status = "waiting on " + c.name
+	a.state = stateWaiting
 	a.waitingOn = c
 	a.blockedAt = c.k.now
 	a.yield()

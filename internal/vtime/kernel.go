@@ -24,6 +24,7 @@ type Kernel struct {
 	resources []*Resource
 	heap      finishHeap
 	runnable  []*Actor
+	runHead   int // index of the next runnable actor (avoids reslicing)
 	yielded   chan struct{}
 	alive     int
 	running   bool
@@ -33,6 +34,18 @@ type Kernel struct {
 	failure   error
 	watchdog  Watchdog
 	wallStart time.Time
+
+	// dirty is the set of resources whose membership or capacity changed
+	// since the last flush.  Each is settled, re-shared and re-keyed once
+	// per scheduling instant by flushDirty instead of once per change —
+	// the batched fluid-model resettling that keeps an n-way contention
+	// burst O(n log n) instead of O(n²).
+	dirty []*Resource
+
+	// freeActions recycles the heap-allocated Action shells of completed
+	// Post submissions, so detached actions (fault injectors, timers)
+	// do not allocate once the simulation is warm.
+	freeActions []*Action
 }
 
 // Watchdog bounds a simulation run.  A zero field disables that limit;
@@ -115,7 +128,6 @@ func (k *Kernel) Spawn(name string, fn func(*Actor)) *Actor {
 		id:     len(k.actors),
 		name:   name,
 		resume: make(chan struct{}),
-		status: "spawned",
 	}
 	k.actors = append(k.actors, a)
 	k.alive++
@@ -127,14 +139,15 @@ func (k *Kernel) Spawn(name string, fn func(*Actor)) *Actor {
 					k.failure = fmt.Errorf("vtime: actor %d %q panicked: %v\n%s",
 						a.id, a.name, r, debug.Stack())
 				}
-				a.status = fmt.Sprintf("panicked: %v", r)
+				a.panicMsg = fmt.Sprint(r)
+				a.state = statePanicked
 			}
 			a.done = true
 			k.alive--
 			k.yielded <- struct{}{}
 		}()
 		fn(a)
-		a.status = "done"
+		a.state = stateDone
 	}()
 	k.runnable = append(k.runnable, a)
 	return a
@@ -151,10 +164,13 @@ func (k *Kernel) Run() error {
 	k.running = true
 	k.wallStart = nowFunc()
 	for {
-		// Phase 1: let every runnable actor run until it blocks.
-		for len(k.runnable) > 0 {
-			a := k.runnable[0]
-			k.runnable = k.runnable[1:]
+		// Phase 1: let every runnable actor run until it blocks.  The
+		// queue is drained by index so the backing array is reused across
+		// instants instead of being resliced away.
+		for k.runHead < len(k.runnable) {
+			a := k.runnable[k.runHead]
+			k.runnable[k.runHead] = nil
+			k.runHead++
 			if a.done {
 				continue
 			}
@@ -168,6 +184,12 @@ func (k *Kernel) Run() error {
 				return k.failure
 			}
 		}
+		k.runnable = k.runnable[:0]
+		k.runHead = 0
+		// Resource changes made by the actors (attaches, capacity moves)
+		// are settled once here, so the heap's finish predictions are
+		// current before the next completion time is chosen.
+		k.flushDirty()
 		// Phase 2: advance virtual time to the next completion.
 		if k.heap.Len() == 0 {
 			if k.alive == 0 {
@@ -187,10 +209,20 @@ func (k *Kernel) Run() error {
 			return k.watchdogError(fmt.Sprintf("virtual-time budget %g s exceeded (next completion at t=%g)", max, t))
 		}
 		k.now = t
-		for k.heap.Len() > 0 && k.heap.peek().finishAt <= t {
-			act := k.heap.pop()
-			act.heapIndex = -1
-			k.fire(act)
+		// Fire everything due at t, then flush the membership changes the
+		// completions made.  A flush at instant t can only key events
+		// strictly after t — except a member that already reached zero
+		// remaining work, which it keys at exactly t — so one more sweep
+		// of the due events after each flush keeps the instant complete.
+		for {
+			for k.heap.Len() > 0 && k.heap.peek().finishAt <= t {
+				act := k.heap.pop()
+				act.heapIndex = -1
+				k.fire(act)
+			}
+			if !k.flushDirty() {
+				break
+			}
 		}
 	}
 }
@@ -205,7 +237,7 @@ func (k *Kernel) fire(a *Action) {
 		if a.Res != nil {
 			a.settle(k.now)
 			a.Res.detach(a)
-			k.resettle(a.Res)
+			k.markDirty(a.Res)
 		}
 		k.complete(a)
 	default:
@@ -218,6 +250,7 @@ func (k *Kernel) submit(a *Action) {
 	a.validate()
 	a.seq = k.nextSeq()
 	a.heapIndex = -1
+	a.resIndex = -1
 	a.remaining = a.Work
 	a.delayLeft = a.Delay
 	a.settled = k.now
@@ -234,26 +267,66 @@ func (k *Kernel) submit(a *Action) {
 func (k *Kernel) startWork(a *Action) {
 	a.phase = phaseWork
 	a.settled = k.now
-	if a.remaining <= workEpsilon {
-		if a.Res == nil {
+	if a.Res == nil {
+		if a.remaining <= workEpsilon {
 			k.complete(a)
 			return
 		}
-		// Even zero work must visit the heap so that completion order
-		// stays deterministic relative to peers completing now.
-	}
-	if a.Res == nil {
 		a.rate = a.RateCap
 		a.finishAt = k.now + a.remaining/a.rate
 		k.heap.push(a)
 		return
 	}
 	a.Res.attach(a)
-	k.resettle(a.Res)
+	k.markDirty(a.Res)
+	if a.remaining <= workEpsilon {
+		// Even zero work must visit the heap so that completion order
+		// stays deterministic relative to peers completing now.  Its
+		// finish time does not depend on the share it would receive, so
+		// it is keyed immediately — a deferred key could fire after a
+		// later-submitted peer that is already in the heap at this
+		// instant, inverting the seq order.
+		a.finishAt = k.now
+		k.heap.push(a)
+	}
+	// Positive work cannot complete at the current instant, so its rate
+	// and finish prediction wait for the next dirty-set flush.
+}
+
+// markDirty queues a resource for the next flushDirty.  Membership and
+// capacity changes within one scheduling instant are coalesced: only the
+// state at the end of the instant determines the rates going forward, and
+// every intermediate configuration holds for zero virtual time.
+func (k *Kernel) markDirty(r *Resource) {
+	if !r.dirty {
+		r.dirty = true
+		k.dirty = append(k.dirty, r)
+	}
+}
+
+// flushDirty resettles every dirty resource once at the current instant
+// and reports whether there was anything to do.  Exactness: each member's
+// rate field still holds the rate that was in force since its last
+// settlement, so the settle here accounts progress identically to the
+// settle an eager per-change resettle would have performed, and the
+// single re-share sees the same final member set and capacity the last of
+// the eager re-shares would have seen.
+func (k *Kernel) flushDirty() bool {
+	if len(k.dirty) == 0 {
+		return false
+	}
+	for i, r := range k.dirty {
+		r.dirty = false
+		k.dirty[i] = nil
+		k.resettle(r)
+	}
+	k.dirty = k.dirty[:0]
+	return true
 }
 
 // resettle recomputes progress, rates and predicted finish times for every
-// member of a resource after membership or capacity changed.
+// member of a resource after membership or capacity changed.  It is only
+// called from flushDirty, once per dirty resource per instant.
 func (k *Kernel) resettle(r *Resource) {
 	for _, m := range r.members {
 		m.settle(k.now)
@@ -294,6 +367,13 @@ func (k *Kernel) complete(a *Action) {
 	k.completed++
 	if a.onComplete != nil {
 		a.onComplete()
+		if a.posted {
+			// The shell of a detached action is dead once its callback
+			// returns: nothing else holds a reference, so it goes back
+			// to the freelist for the next Post.
+			a.onComplete = nil
+			k.freeActions = append(k.freeActions, a)
+		}
 		return
 	}
 	if a.actor != nil {
@@ -314,9 +394,18 @@ func (k *Kernel) ready(a *Actor) {
 // but may signal conditions to wake actors.  Post may be called from actor
 // context or from a completion callback.
 func (k *Kernel) Post(a Action, fn func()) {
-	act := a
+	var act *Action
+	if n := len(k.freeActions); n > 0 {
+		act = k.freeActions[n-1]
+		k.freeActions[n-1] = nil
+		k.freeActions = k.freeActions[:n-1]
+	} else {
+		act = new(Action)
+	}
+	*act = a
 	act.onComplete = fn
-	k.submit(&act)
+	act.posted = true
+	k.submit(act)
 }
 
 // checkWatchdog enforces the step and wall-clock budgets.  It runs once
@@ -366,7 +455,7 @@ func (k *Kernel) WaitGraph() string {
 		if a.done {
 			continue
 		}
-		fmt.Fprintf(&b, "\n    actor %d %q: %s", a.id, a.name, a.status)
+		fmt.Fprintf(&b, "\n    actor %d %q: %s", a.id, a.name, a.statusString())
 		if c := a.waitingOn; c != nil {
 			fmt.Fprintf(&b, " (blocked since t=%g)", a.blockedAt)
 			i, ok := seen[c]

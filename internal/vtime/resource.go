@@ -11,8 +11,19 @@ type Resource struct {
 	capacity float64 // units per virtual second
 
 	// members are the actions currently in their work phase on this
-	// resource, in submission order.
+	// resource, in submission order.  The order is load-bearing: the
+	// water-fill breaks need ties stably by it, and its floating-point
+	// allocations are bitwise sensitive to position, so removal must
+	// preserve it (see detach).
 	members []*Action
+
+	// dirty marks the resource as queued in the kernel's dirty set for
+	// the next coalesced resettle (see Kernel.markDirty).
+	dirty bool
+
+	// sorter is the reusable scratch for shareResource, so re-sharing a
+	// resource allocates nothing in steady state.
+	sorter needSorter
 }
 
 // NewResource registers a new shared resource with the kernel.  Capacity is
@@ -33,33 +44,42 @@ func (r *Resource) Name() string { return r.name }
 // Capacity returns the resource capacity in units per virtual second.
 func (r *Resource) Capacity() float64 { return r.capacity }
 
-// SetCapacity changes the capacity of the resource and immediately
-// recomputes the rates of all actions drawing on it.  Call it from actor
-// context or from a Post completion callback (for example to model
-// frequency throttling or a noisy network link); progress up to the current
-// virtual time is settled at the old rates first.
+// SetCapacity changes the capacity of the resource from the current
+// virtual instant onward.  Call it from actor context or from a Post
+// completion callback (for example to model frequency throttling or a
+// noisy network link).  Progress up to the current instant is settled at
+// the old rates when the kernel flushes its dirty set — once per instant,
+// no matter how many membership or capacity changes pile up — and the new
+// rates are then shared out of the new capacity in a single pass.
 func (r *Resource) SetCapacity(c float64) {
 	if c <= 0 {
 		panic(fmt.Sprintf("vtime: resource %q: capacity must be positive, got %g", r.name, c))
 	}
-	r.k.resettle(r) // settle progress at the old capacity
 	r.capacity = c
-	r.k.resettle(r)
+	r.k.markDirty(r)
 }
 
 // Load returns the number of actions currently drawing on the resource.
 func (r *Resource) Load() int { return len(r.members) }
 
 func (r *Resource) attach(a *Action) {
+	a.resIndex = len(r.members)
 	r.members = append(r.members, a)
 }
 
+// detach removes a by its stored member index — no scan — while keeping
+// the remaining members in submission order.
 func (r *Resource) detach(a *Action) {
-	for i, m := range r.members {
-		if m == a {
-			r.members = append(r.members[:i], r.members[i+1:]...)
-			return
-		}
+	i := a.resIndex
+	if i < 0 || i >= len(r.members) || r.members[i] != a {
+		panic("vtime: detach of action not attached to resource " + r.name)
 	}
-	panic("vtime: detach of action not attached to resource " + r.name)
+	last := len(r.members) - 1
+	copy(r.members[i:], r.members[i+1:])
+	r.members[last] = nil
+	r.members = r.members[:last]
+	for j := i; j < last; j++ {
+		r.members[j].resIndex = j
+	}
+	a.resIndex = -1
 }

@@ -1,0 +1,106 @@
+package vtime
+
+import "testing"
+
+// The tests in this file pin the exact semantics of the coalesced
+// dirty-set resettling (kernel.go flushDirty): capacity and membership
+// changes within one scheduling instant are settled once at the old
+// rates and re-shared once at the final configuration, and the resulting
+// completion times are bit-exact, not merely within tolerance.  The
+// chosen work sizes and capacities make every intermediate value exactly
+// representable in binary floating point, so == assertions are valid.
+
+// Satellite regression for the SetCapacity double-resettle fix: a
+// capacity change in the middle of a work phase settles progress once at
+// the old rate and re-shares once at the new capacity.  30 units at rate
+// 10 for 1 s leaves 20, which the doubled capacity finishes in exactly
+// 1 s more.
+func TestSetCapacityMidPhaseExactTiming(t *testing.T) {
+	k := NewKernel()
+	bw := k.NewResource("bw", 10)
+	var end float64
+	k.Spawn("worker", func(a *Actor) {
+		a.Execute(Action{Work: 30, Res: bw, ResPerUnit: 1})
+		end = a.Now()
+	})
+	k.Spawn("ctrl", func(a *Actor) {
+		a.Sleep(1)
+		bw.SetCapacity(20)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != 2.0 {
+		t.Fatalf("worker finished at %.17g, want exactly 2 (settle at old rate, reshare at new capacity)", end)
+	}
+	if got := bw.Capacity(); got != 20 {
+		t.Fatalf("capacity %g after SetCapacity(20)", got)
+	}
+}
+
+// A zero-work action submitted at the same instant a peer detaches must
+// complete through the heap, after the detaching peer (its submission
+// sequence number is higher), and at exactly the shared instant.
+func TestZeroWorkRacesDetachSameInstant(t *testing.T) {
+	k := NewKernel()
+	bw := k.NewResource("bw", 10)
+	type fin struct {
+		who string
+		at  float64
+	}
+	var done []fin
+	k.Spawn("w1", func(a *Actor) {
+		a.Execute(Action{Work: 10, Res: bw, ResPerUnit: 1}) // alone: ends at t=1
+		done = append(done, fin{"w1", a.Now()})
+	})
+	k.Spawn("zero", func(a *Actor) {
+		a.Sleep(1) // attach the zero-work action exactly when w1 detaches
+		a.Execute(Action{Work: 1e-15, Res: bw, ResPerUnit: 1})
+		done = append(done, fin{"zero", a.Now()})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 2 || done[0].who != "w1" || done[1].who != "zero" {
+		t.Fatalf("completion order %+v, want w1 before zero", done)
+	}
+	for _, f := range done {
+		if f.at != 1.0 {
+			t.Fatalf("%s finished at %.17g, want exactly 1", f.who, f.at)
+		}
+	}
+}
+
+// SetCapacity from a Post callback while the resource is already dirty
+// (a member detached at the same instant) must coalesce into the same
+// single settle/reshare: w2 runs at rate 5 until t=1 (sharing with w1),
+// then alone at the doubled capacity 20, finishing its remaining 30
+// units at exactly t=2.5.  This is the live shape of the fault
+// injector's capacity windows (internal/faults armCapacityWindow).
+func TestSetCapacityFromPostWhileDirty(t *testing.T) {
+	k := NewKernel()
+	bw := k.NewResource("bw", 10)
+	var end1, end2 float64
+	k.Spawn("w1", func(a *Actor) {
+		a.Execute(Action{Work: 5, Res: bw, ResPerUnit: 1})
+		end1 = a.Now()
+	})
+	k.Spawn("w2", func(a *Actor) {
+		a.Execute(Action{Work: 35, Res: bw, ResPerUnit: 1})
+		end2 = a.Now()
+	})
+	k.Post(Action{Delay: 1}, func() {
+		// Fires at the instant w1 completes: the resource is dirty from
+		// the detach when this capacity change lands on top of it.
+		bw.SetCapacity(20)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end1 != 1.0 {
+		t.Fatalf("w1 finished at %.17g, want exactly 1", end1)
+	}
+	if end2 != 2.5 {
+		t.Fatalf("w2 finished at %.17g, want exactly 2.5", end2)
+	}
+}
