@@ -96,20 +96,15 @@ func runSpec(name, modeFlag string, quick bool, seed int64, withNoise, jsonOut b
 }
 
 func checkFile(path string, jsonOut bool, limit int) bool {
-	f, err := os.Open(path)
+	tr, err := trace.ReadFile(path)
 	if err != nil {
-		log.Fatal(err)
-	}
-	defer f.Close()
-	tr, err := trace.Read(f)
-	if err != nil {
-		// A RecordError pinpoints the offending record of a corrupted
-		// trace; surface its coordinates rather than a bare read error.
+		// ReadFile stamps the path onto the error (RecordError
+		// coordinates included), so it prints without re-prefixing.
 		var rerr *trace.RecordError
 		if errors.As(err, &rerr) {
-			log.Printf("%s: corrupt trace at %s", path, rerr)
+			log.Printf("corrupt trace at %s", rerr)
 		} else {
-			log.Printf("%s: %v", path, err)
+			log.Printf("%v", err)
 		}
 		return false
 	}

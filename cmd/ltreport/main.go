@@ -11,6 +11,10 @@
 //	ltreport -cache ~/.ltcache             # reuse cached repetitions
 //	ltreport -fault-study MiniFE-1         # fault-resilience table
 //	ltreport -table 1 -cpuprofile cpu.pprof  # profile the hot path
+//	ltreport -progress -metrics      # live ETA and a metrics dump, on stderr
+//
+// Neither -progress nor -metrics perturbs the tables: both write to
+// stderr only, and the simulation never reads what they record.
 package main
 
 import (
@@ -18,9 +22,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/profiling"
 	"repro/internal/runcache"
 )
@@ -37,12 +43,28 @@ func main() {
 	cacheDir := flag.String("cache", "", "serve repetitions from a run cache in this directory")
 	faultCfg := flag.String("fault-study", "", "run the fault-resilience study on this configuration and exit")
 	faultSpec := flag.String("faults", "", "fault plan for -fault-study (default: auto-sized one-off delay)")
+	progress := flag.Bool("progress", false, "report live study progress with ETA on stderr")
+	metrics := flag.Bool("metrics", false, "dump simulator metrics to stderr after the run")
 	prof := profiling.AddFlags()
 	flag.Parse()
 	prof.Start()
 	defer prof.Stop()
 
 	opts := experiment.StudyOptions{Reps: *reps, BaseSeed: *seed, Workers: *workers}
+	if *progress {
+		// Wall-clock time feeds only the stderr progress display, never
+		// the simulation itself.
+		opts.Progress = obs.NewProgress(os.Stderr, "ltreport", time.Now) //detlint:allow wallclock
+	}
+	if *metrics {
+		reg := obs.NewRegistry()
+		opts.Metrics = reg
+		defer func() {
+			if err := reg.Snapshot().WriteText(os.Stderr); err != nil {
+				log.Print(err)
+			}
+		}()
+	}
 	if *cacheDir != "" {
 		cache, err := runcache.Open(*cacheDir)
 		if err != nil {

@@ -10,6 +10,7 @@
 //	ltscale                     # all three mini-apps
 //	ltscale -app TeaLeaf -reps 5
 //	ltscale -j 4 -cache ~/.ltcache
+//	ltscale -progress -metrics  # live ETA and a metrics dump, on stderr
 package main
 
 import (
@@ -17,9 +18,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/noise"
+	"repro/internal/obs"
 	"repro/internal/runcache"
 )
 
@@ -32,6 +35,8 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink the problems")
 	workers := flag.Int("j", 0, "parallel simulations (0 = all CPUs); results are identical for any value")
 	cacheDir := flag.String("cache", "", "serve repetitions from a run cache in this directory")
+	progress := flag.Bool("progress", false, "report live sweep progress with ETA on stderr")
+	metrics := flag.Bool("metrics", false, "dump simulator metrics to stderr after the run")
 	flag.Parse()
 
 	var cache *runcache.Cache
@@ -40,6 +45,16 @@ func main() {
 		if cache, err = runcache.Open(*cacheDir); err != nil {
 			log.Fatal(err)
 		}
+	}
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
+	var prog *obs.Progress
+	if *progress {
+		// Wall-clock time feeds only the stderr progress display, never
+		// the simulation itself.
+		prog = obs.NewProgress(os.Stderr, "ltscale", time.Now) //detlint:allow wallclock
 	}
 
 	sweeps := []struct {
@@ -62,6 +77,7 @@ func main() {
 		}
 		res, err := experiment.RunScaling(spec, s.points, experiment.ScalingOptions{
 			Reps: *reps, Seed: *seed, Noise: np, Workers: *workers, Cache: cache,
+			Metrics: reg, Progress: prog,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -75,5 +91,10 @@ func main() {
 	if cache != nil {
 		hits, misses := cache.Stats()
 		log.Printf("run cache %s: %d hits, %d misses", cache.Dir(), hits, misses)
+	}
+	if reg != nil {
+		if err := reg.Snapshot().WriteText(os.Stderr); err != nil {
+			log.Print(err)
+		}
 	}
 }

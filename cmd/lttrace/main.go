@@ -32,12 +32,7 @@ func main() {
 	if flag.NArg() != 1 {
 		log.Fatal("need exactly one trace file")
 	}
-	f, err := os.Open(flag.Arg(0))
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer f.Close()
-	tr, err := trace.Read(f)
+	tr, err := trace.ReadFile(flag.Arg(0))
 	if err != nil {
 		log.Fatal(err)
 	}

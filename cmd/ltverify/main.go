@@ -10,6 +10,7 @@
 //	ltverify            # all claims (~2 minutes)
 //	ltverify -reps 5
 //	ltverify -j 4 -cache ~/.ltcache   # parallel, cached repetitions
+//	ltverify -progress -metrics       # live ETA and a metrics dump, on stderr
 //
 // Exit status 1 if any claim fails.
 package main
@@ -21,9 +22,11 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/runcache"
 	"repro/internal/scalasca"
 )
@@ -40,6 +43,8 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per study")
 	workers := flag.Int("j", 0, "parallel simulations (0 = all CPUs); results are identical for any value")
 	cacheDir := flag.String("cache", "", "serve repetitions from a run cache in this directory")
+	progress := flag.Bool("progress", false, "report live study progress with ETA on stderr")
+	metrics := flag.Bool("metrics", false, "dump simulator metrics to stderr after the claims")
 	flag.Parse()
 
 	opts := experiment.StudyOptions{Reps: *reps, Workers: *workers, VerifyTraces: true}
@@ -49,6 +54,16 @@ func main() {
 			log.Fatal(err)
 		}
 		opts.Cache = cache
+	}
+	if *progress {
+		// Wall-clock time feeds only the stderr progress display, never
+		// the simulation itself.
+		opts.Progress = obs.NewProgress(os.Stderr, "ltverify", time.Now) //detlint:allow wallclock
+	}
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+		opts.Metrics = reg
 	}
 
 	needed := []string{"MiniFE-1", "MiniFE-2", "LULESH-1", "LULESH-2", "TeaLeaf-2", "TeaLeaf-4"}
@@ -68,6 +83,13 @@ func main() {
 	if opts.Cache != nil {
 		hits, misses := opts.Cache.Stats()
 		log.Printf("run cache %s: %d hits, %d misses", opts.Cache.Dir(), hits, misses)
+	}
+	// Dump before the claim checks so the snapshot appears even when a
+	// failing claim ends the process with a non-zero status.
+	if reg != nil {
+		if err := reg.Snapshot().WriteText(os.Stderr); err != nil {
+			log.Print(err)
+		}
 	}
 	fmt.Println()
 

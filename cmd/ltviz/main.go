@@ -1,0 +1,134 @@
+// Command ltviz renders simulator traces as Chrome trace-event /
+// Perfetto JSON for ui.perfetto.dev or chrome://tracing.
+//
+// It has two sources.  Given trace files, it converts each one:
+//
+//	ltviz run.ltrc                     # JSON to stdout
+//	ltviz -o run.json run.ltrc         # JSON to a file
+//
+// Given -spec, it runs the configuration in-process and exports the
+// resulting trace together with the run's machine timeline — fault
+// injections as instant events and the fluid model's resource
+// capacities as counter tracks — which no on-disk trace carries:
+//
+//	ltviz -spec MiniFE-1 -mode lt_stmt -o minife.json
+//	ltviz -spec MiniFE-1 -mode tsc -faults "membw:node=0,at=0.001,dur=0.005,factor=0.2" -o fault.json
+//
+// Timestamps are trace clock ticks scaled to the trace-event format's
+// microseconds: real time for tsc traces, logical ticks (one per
+// microsecond) for the logical modes — so the machine timeline, which
+// is in virtual seconds, lines up with the slices only on tsc traces.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/faults"
+	"repro/internal/measure"
+	"repro/internal/noise"
+	"repro/internal/obs"
+	"repro/internal/obs/perfetto"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ltviz: ")
+	out := flag.String("o", "", "output file (default stdout; with several inputs, a per-input .json path)")
+	spec := flag.String("spec", "", "run this configuration in-process instead of reading trace files (see ltrun -list)")
+	mode := flag.String("mode", "lt_stmt", "timer mode for -spec runs")
+	seed := flag.Int64("seed", 1, "noise seed for -spec runs")
+	quick := flag.Bool("quick", false, "shrink the -spec problem")
+	noNoise := flag.Bool("no-noise", false, "disable all noise sources in -spec runs")
+	faultSpec := flag.String("faults", "", `fault plan for -spec runs, e.g. "oneoff:rank=2,at=0.01,delay=0.005"`)
+	flag.Parse()
+
+	if *spec != "" {
+		if flag.NArg() > 0 {
+			log.Fatal("-spec and trace-file arguments are mutually exclusive")
+		}
+		tr, tl, err := runSpec(*spec, *mode, *seed, *quick, *noNoise, *faultSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := writeJSON(*out, tr, tl); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		log.Fatal("no input: pass trace files or -spec (see -h)")
+	}
+	if flag.NArg() > 1 && *out != "" {
+		log.Fatal("-o takes a single trace file; omit it to write per-input .json files")
+	}
+	for _, path := range flag.Args() {
+		tr, err := trace.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dst := *out
+		if flag.NArg() > 1 {
+			dst = path + ".json"
+		}
+		if err := writeJSON(dst, tr, nil); err != nil {
+			log.Fatal(err)
+		}
+		if dst != "" {
+			fmt.Fprintf(os.Stderr, "ltviz: %s -> %s (%d events)\n", path, dst, tr.NumEvents())
+		}
+	}
+}
+
+// runSpec executes one configuration in-process with a timeline
+// attached and returns the trace plus the machine annotations.
+func runSpec(name, mode string, seed int64, quick, noNoise bool, faultSpec string) (*trace.Trace, *obs.Timeline, error) {
+	sp, err := experiment.SpecByName(name, experiment.Options{Quick: quick})
+	if err != nil {
+		return nil, nil, err
+	}
+	if mode == "" {
+		return nil, nil, fmt.Errorf("-spec needs an instrumented -mode (a reference run records no trace)")
+	}
+	cfg := measure.DefaultConfig(core.Mode(mode))
+	np := noise.Cluster()
+	if noNoise {
+		np = noise.Params{}
+	}
+	var plan *faults.Plan
+	if faultSpec != "" {
+		p, err := faults.ParseSpec(faultSpec)
+		if err != nil {
+			return nil, nil, err
+		}
+		plan = &p
+	}
+	tl := &obs.Timeline{}
+	res, err := experiment.RunWithOptions(sp, experiment.RunOptions{
+		Cfg: &cfg, Seed: seed, Noise: np, Faults: plan, Timeline: tl,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Trace, tl, nil
+}
+
+// writeJSON exports to the given path, or stdout when path is empty.
+func writeJSON(path string, tr *trace.Trace, tl *obs.Timeline) error {
+	var w io.Writer = os.Stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return perfetto.Export(w, tr, tl)
+}

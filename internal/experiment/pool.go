@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/measure"
+	"repro/internal/obs"
 	"repro/internal/runcache"
 )
 
@@ -52,6 +53,42 @@ type Job struct {
 	Opts RunOptions
 }
 
+// poolHooks bundles the pool's observe-only reporting: grid counters in
+// a metrics registry plus an optional live progress reporter.  The zero
+// value is fully inert (all obs handles are nil-safe), so the execution
+// path is identical with observability on or off — hooks fire strictly
+// after a job's outcome is decided and never influence placement,
+// retries or caching.
+type poolHooks struct {
+	jobs        *obs.Counter   // jobs started (cache hits included)
+	retried     *obs.Counter   // jobs that needed their one retry
+	dropped     *obs.Counter   // jobs dropped after the retry failed
+	cacheHits   *obs.Counter   // jobs served from the run cache
+	cacheMisses *obs.Counter   // cacheable jobs the cache did not have
+	jobVirtual  *obs.Histogram // per-job virtual seconds
+	progress    *obs.Progress
+}
+
+// newPoolHooks interns the pool's metric names in r (nil yields inert
+// handles) and attaches the progress reporter (may be nil).
+func newPoolHooks(r *obs.Registry, p *obs.Progress) poolHooks {
+	return poolHooks{
+		jobs:        r.Counter("experiment_jobs"),
+		retried:     r.Counter("experiment_jobs_retried"),
+		dropped:     r.Counter("studies_dropped"),
+		cacheHits:   r.Counter("experiment_cache_hits"),
+		cacheMisses: r.Counter("experiment_cache_misses"),
+		jobVirtual:  r.Histogram("experiment_job_virtual_seconds", 0.01, 0.1, 1, 10, 100),
+		progress:    p,
+	}
+}
+
+// jobDone reports one finished job and its virtual cost.
+func (h poolHooks) jobDone(wall float64) {
+	h.jobVirtual.Observe(wall)
+	h.progress.JobDone(wall)
+}
+
 // studyJobs enumerates RunStudy's full grid — reference repetitions
 // first, then every mode's repetitions in opts.Modes order — with the
 // exact per-job seeds and analyze flags of the original sequential
@@ -66,6 +103,7 @@ func studyJobs(spec Spec, opts StudyOptions) []Job {
 			Opts: RunOptions{
 				Seed: opts.BaseSeed + int64(rep), Noise: *opts.Noise,
 				Faults: opts.Faults, Watchdog: opts.Watchdog,
+				Metrics: opts.Metrics,
 			},
 		})
 	}
@@ -78,6 +116,7 @@ func studyJobs(spec Spec, opts StudyOptions) []Job {
 				Opts: RunOptions{
 					Cfg: &cfg, Seed: opts.BaseSeed + int64(rep), Noise: *opts.Noise,
 					Faults: opts.Faults, Analyze: analyze, Watchdog: opts.Watchdog,
+					Metrics: opts.Metrics,
 				},
 			})
 		}
@@ -108,13 +147,13 @@ func poolWorkers(requested, jobs int) int {
 // Each worker writes only its own jobs' slots, so placement needs no
 // lock, and slot indexing keeps the output independent of scheduling;
 // flattenDrops turns the drop slots into the report form.
-func runPool(jobs []Job, workers int, cache *runcache.Cache) ([]*RunResult, []*DroppedRep) {
+func runPool(jobs []Job, workers int, cache *runcache.Cache, hooks poolHooks) ([]*RunResult, []*DroppedRep) {
 	results := make([]*RunResult, len(jobs))
 	drops := make([]*DroppedRep, len(jobs))
 	workers = poolWorkers(workers, len(jobs))
 	if workers == 1 {
 		for i := range jobs {
-			results[i], drops[i] = runJob(jobs[i], cache)
+			results[i], drops[i] = runJob(jobs[i], cache, hooks)
 		}
 	} else {
 		idx := make(chan int)
@@ -124,7 +163,7 @@ func runPool(jobs []Job, workers int, cache *runcache.Cache) ([]*RunResult, []*D
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					results[i], drops[i] = runJob(jobs[i], cache)
+					results[i], drops[i] = runJob(jobs[i], cache, hooks)
 				}
 			}()
 		}
@@ -155,12 +194,18 @@ func flattenDrops(drops []*DroppedRep) []DroppedRep {
 // success is cached — a retry's result belongs to the shifted seed, and
 // caching it under the primary key would hand later runs a result the
 // primary seed never produced.
-func runJob(job Job, cache *runcache.Cache) (*RunResult, *DroppedRep) {
+func runJob(job Job, cache *runcache.Cache, hooks poolHooks) (*RunResult, *DroppedRep) {
+	hooks.jobs.Inc()
 	key, cacheable := cacheKey(job.Spec, job.Opts)
 	if cache != nil && cacheable {
 		if e, ok := cache.Get(key); ok {
-			return resultOf(e), nil
+			res := resultOf(e)
+			hooks.cacheHits.Inc()
+			hooks.progress.CacheHit()
+			hooks.jobDone(res.Wall)
+			return res, nil
 		}
+		hooks.cacheMisses.Inc()
 	}
 	res, err := runIsolated(job.Spec, job.Opts)
 	if err == nil {
@@ -168,14 +213,20 @@ func runJob(job Job, cache *runcache.Cache) (*RunResult, *DroppedRep) {
 			// A failed Put only costs the next run a re-simulation.
 			_ = cache.Put(key, entryOf(res))
 		}
+		hooks.jobDone(res.Wall)
 		return res, nil
 	}
+	hooks.retried.Inc()
+	hooks.progress.JobRetried()
 	retry := job.Opts
 	retry.Seed += retrySeedOffset
 	res, err2 := runIsolated(job.Spec, retry)
 	if err2 == nil {
+		hooks.jobDone(res.Wall)
 		return res, nil
 	}
+	hooks.dropped.Inc()
+	hooks.progress.JobDropped()
 	return nil, &DroppedRep{
 		Mode: job.Mode, Rep: job.Rep, Seed: job.Opts.Seed,
 		Err: fmt.Sprintf("%v (retry with seed %d: %v)", err, retry.Seed, err2),

@@ -247,7 +247,7 @@ func TestDroppedOrderIsEnumerationOrder(t *testing.T) {
 	spec := tinySpec()
 	spec.App = func(r *measure.Rank) AppResult { panic("always fails") }
 	jobs := studyJobs(spec, (StudyOptions{Reps: 2, BaseSeed: 1, Modes: []core.Mode{core.ModeLt1, core.ModeTSC}}).fill())
-	_, drops := runPool(jobs, 4, nil)
+	_, drops := runPool(jobs, 4, nil, poolHooks{})
 	dropped := flattenDrops(drops)
 	if len(dropped) != len(jobs) {
 		t.Fatalf("%d drops for %d jobs", len(dropped), len(jobs))

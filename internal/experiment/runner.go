@@ -10,6 +10,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/measure"
 	"repro/internal/noise"
+	"repro/internal/obs"
 	"repro/internal/runcache"
 	"repro/internal/scalasca"
 	"repro/internal/simmpi"
@@ -45,6 +46,15 @@ type RunOptions struct {
 	Analyze bool
 	// Watchdog bounds the simulation; the zero value runs unbounded.
 	Watchdog vtime.Watchdog
+	// Metrics, when non-nil, receives observe-only counters from every
+	// layer of the run (kernel, MPI runtime, fault injector).  It never
+	// enters the run-cache key and cannot change any result — the
+	// metrics-on/off golden test asserts byte-identical traces.
+	Metrics *obs.Registry
+	// Timeline, when non-nil, collects observe-only annotations for the
+	// Perfetto export: resource-capacity samples and fault-injection
+	// marks, all in virtual seconds.
+	Timeline *obs.Timeline
 }
 
 // Run executes one configuration once.  mode "" runs uninstrumented;
@@ -71,6 +81,14 @@ func RunWithConfig(spec Spec, cfg *measure.Config, seed int64, np noise.Params, 
 func RunWithOptions(spec Spec, o RunOptions) (*RunResult, error) {
 	k := vtime.NewKernel()
 	k.SetWatchdog(o.Watchdog)
+	k.SetMetrics(vtime.NewMetrics(o.Metrics))
+	if tl := o.Timeline; tl != nil {
+		// Installed before machine.New so the t=0 registrations seed every
+		// capacity track with its nominal value.
+		k.SetCapacityObserver(func(now float64, res string, cap float64) {
+			tl.AddSample(now, "capacity "+res, cap)
+		})
+	}
 	m := machine.New(k, machine.Jureca(spec.Nodes))
 	var place machine.Placement
 	var err error
@@ -87,15 +105,19 @@ func RunWithOptions(spec Spec, o RunOptions) (*RunResult, error) {
 		if plan.Seed == 0 {
 			plan.Seed = o.Seed
 		}
-		if _, err := faults.Arm(k, m, place, plan); err != nil {
+		inj, err := faults.Arm(k, m, place, plan)
+		if err != nil {
 			return nil, fmt.Errorf("experiment %s: %w", spec.Name, err)
 		}
+		inj.SetMetrics(faults.NewMetrics(o.Metrics))
+		inj.SetTimeline(o.Timeline)
 	}
 	var nm *noise.Model
 	if o.Noise != (noise.Params{}) {
 		nm = noise.NewModel(o.Seed, o.Noise)
 	}
 	w := simmpi.NewWorld(k, m, place, simmpi.DefaultConfig(), simomp.DefaultCosts(), nm)
+	w.SetMetrics(simmpi.NewMetrics(o.Metrics))
 	var meas *measure.Measurement
 	var mode core.Mode
 	if o.Cfg != nil {
@@ -175,6 +197,15 @@ type StudyOptions struct {
 	// opt-in hook ltverify uses to assert clock-condition compliance
 	// across a whole study grid.
 	VerifyTraces bool
+	// Metrics, when non-nil, aggregates observe-only counters across the
+	// whole grid: pool accounting (jobs, retries, drops, cache traffic)
+	// plus every job's simulation-internal counters.  Observe-only; see
+	// RunOptions.Metrics.
+	Metrics *obs.Registry
+	// Progress, when non-nil, receives live job-grid completion events
+	// (conventionally rendered to stderr by the cmd binaries, so stdout
+	// artifacts are never perturbed).
+	Progress *obs.Progress
 
 	// modesDefaulted records that fill() installed the default mode
 	// list, so renderers may sort it for stable report ordering.
@@ -272,7 +303,9 @@ func RunStudy(spec Spec, opts StudyOptions) (*Study, error) {
 	opts = opts.fill()
 	st := &Study{Spec: spec, Opts: opts, Runs: make(map[core.Mode][]*RunResult)}
 	jobs := studyJobs(spec, opts)
-	results, drops := runPool(jobs, opts.Workers, opts.Cache)
+	opts.Progress.Start(len(jobs), spec.Name)
+	results, drops := runPool(jobs, opts.Workers, opts.Cache, newPoolHooks(opts.Metrics, opts.Progress))
+	opts.Progress.Finish()
 	st.Dropped = flattenDrops(drops)
 	for i, job := range jobs {
 		res := results[i]

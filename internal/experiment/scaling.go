@@ -6,6 +6,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/noise"
+	"repro/internal/obs"
 	"repro/internal/runcache"
 	"repro/internal/vtime"
 )
@@ -23,6 +24,12 @@ type ScalePoint struct {
 	FoM            float64 // mean figure of merit (0 if not reported)
 	Speedup        float64 // vs the first point
 	Efficiency     float64 // speedup / resource ratio
+	// DroppedReps counts this point's repetitions that failed twice and
+	// were dropped.  A point with partial drops still reports a timing
+	// (averaged over the completed repetitions), but the mean rests on
+	// fewer samples — the table surfaces the count so a silently
+	// weakened point cannot pass for a clean one.
+	DroppedReps int
 	// Err is non-empty when every repetition of the point failed; the
 	// point's timing fields are then zero and it is excluded from the
 	// speedup baseline.
@@ -43,6 +50,11 @@ type ScalingOptions struct {
 	Cache *runcache.Cache
 	// Watchdog bounds each repetition; the zero value runs unbounded.
 	Watchdog vtime.Watchdog
+	// Metrics, when non-nil, aggregates observe-only counters across the
+	// grid (see StudyOptions.Metrics).
+	Metrics *obs.Registry
+	// Progress, when non-nil, receives live job-grid completion events.
+	Progress *obs.Progress
 }
 
 // ScalingResult is a completed scaling study: the per-point table plus
@@ -81,11 +93,14 @@ func RunScaling(base Spec, points [][2]int, o ScalingOptions) (*ScalingResult, e
 				Slot: len(jobs), Spec: spec, Rep: rep,
 				Opts: RunOptions{
 					Seed: o.Seed + int64(rep), Noise: o.Noise, Watchdog: o.Watchdog,
+					Metrics: o.Metrics,
 				},
 			})
 		}
 	}
-	results, drops := runPool(jobs, o.Workers, o.Cache)
+	o.Progress.Start(len(jobs), base.Name+" scaling grid")
+	results, drops := runPool(jobs, o.Workers, o.Cache, newPoolHooks(o.Metrics, o.Progress))
+	o.Progress.Finish()
 	out := &ScalingResult{Dropped: flattenDrops(drops)}
 	for pi, spec := range specs {
 		p := ScalePoint{Ranks: spec.Ranks, Threads: spec.Threads, Nodes: spec.Nodes}
@@ -97,8 +112,11 @@ func RunScaling(base Spec, points [][2]int, o ScalingOptions) (*ScalingResult, e
 				total += res.Wall
 				fom += res.FoM
 				done++
-			} else if p.Err == "" && drops[slot] != nil {
-				p.Err = drops[slot].Err
+			} else if drops[slot] != nil {
+				p.DroppedReps++
+				if p.Err == "" {
+					p.Err = drops[slot].Err
+				}
 			}
 		}
 		if done > 0 {
@@ -153,18 +171,27 @@ func ScalingStudy(base Spec, points [][2]int, reps int, seed int64, np noise.Par
 	return res.Points, nil
 }
 
-// RenderScaling writes a scaling table.
+// RenderScaling writes a scaling table.  Points whose every repetition
+// failed render as a FAILED row carrying the first error; points that
+// completed on a reduced sample show the dropped-repetition count in the
+// status column, so partial failures are visible in the default output
+// instead of hiding behind a clean-looking mean.
 func RenderScaling(w io.Writer, name string, points []ScalePoint) {
 	fmt.Fprintf(w, "scaling study: %s (uninstrumented reference timings)\n", name)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "ranks\tthreads\tnodes\twall/s\tFoM\tspeedup\tefficiency")
+	fmt.Fprintln(tw, "ranks\tthreads\tnodes\twall/s\tFoM\tspeedup\tefficiency\tstatus")
 	for _, p := range points {
 		if p.Err != "" {
-			fmt.Fprintf(tw, "%d\t%d\t%d\tFAILED: %s\n", p.Ranks, p.Threads, p.Nodes, p.Err)
+			fmt.Fprintf(tw, "%d\t%d\t%d\t-\t-\t-\t-\tFAILED (%d dropped): %s\n",
+				p.Ranks, p.Threads, p.Nodes, p.DroppedReps, p.Err)
 			continue
 		}
-		fmt.Fprintf(tw, "%d\t%d\t%d\t%.4f\t%.4g\t%.2f\t%.2f\n",
-			p.Ranks, p.Threads, p.Nodes, p.Wall, p.FoM, p.Speedup, p.Efficiency)
+		status := "ok"
+		if p.DroppedReps > 0 {
+			status = fmt.Sprintf("%d dropped", p.DroppedReps)
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%.4f\t%.4g\t%.2f\t%.2f\t%s\n",
+			p.Ranks, p.Threads, p.Nodes, p.Wall, p.FoM, p.Speedup, p.Efficiency, status)
 	}
 	tw.Flush()
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/vtime"
 )
 
@@ -18,9 +19,16 @@ type Injector struct {
 	oneoffs  map[machine.CoreID][]*oneoffState
 	slowdown map[machine.CoreID][]window // straggler windows, factor > 1
 	glitch   map[machine.CoreID][]window // counter over-count windows
+
+	// metrics and timeline are observe-only hooks (see SetMetrics and
+	// SetTimeline); the scheduled fault closures read them at fire time,
+	// so they may be attached any time between Arm and Kernel.Run.
+	metrics  Metrics
+	timeline *obs.Timeline
 }
 
 type oneoffState struct {
+	rank  int // world rank the delay lands on, for the timeline label
 	at    float64
 	delay float64
 	fired bool
@@ -72,7 +80,7 @@ func Arm(k *vtime.Kernel, m *machine.Machine, place machine.Placement, p Plan) (
 			// experiment stalls one process, and worker threads then
 			// inherit the delay through fork/join.
 			c := place.Core(f.Rank, 0)
-			inj.oneoffs[c] = append(inj.oneoffs[c], &oneoffState{at: at, delay: f.Delay})
+			inj.oneoffs[c] = append(inj.oneoffs[c], &oneoffState{rank: f.Rank, at: at, delay: f.Delay})
 		case Straggler:
 			for _, c := range rankCores(f.Rank) {
 				inj.slowdown[c] = append(inj.slowdown[c], window{from: at, to: to, factor: f.Factor})
@@ -82,9 +90,9 @@ func Arm(k *vtime.Kernel, m *machine.Machine, place machine.Placement, p Plan) (
 				inj.glitch[c] = append(inj.glitch[c], window{from: at, to: to, factor: f.Factor})
 			}
 		case LinkDegrade:
-			armCapacityWindow(k, m.NIC(f.Node), at, at+f.Duration, f.Factor)
+			inj.armCapacityWindow(k, m.NIC(f.Node), at, at+f.Duration, f.Factor)
 		case MemDegrade:
-			armCapacityWindow(k, m.Domain(f.Domain), at, at+f.Duration, f.Factor)
+			inj.armCapacityWindow(k, m.Domain(f.Domain), at, at+f.Duration, f.Factor)
 		default:
 			return nil, fmt.Errorf("faults: unknown fault kind %q", f.Kind)
 		}
@@ -97,14 +105,21 @@ func Arm(k *vtime.Kernel, m *machine.Machine, place machine.Placement, p Plan) (
 // resource: at `from` the capacity drops to fraction*nominal, at `to` it
 // recovers.  The restore uses the capacity recorded at arm time, so
 // overlapping windows on one resource recover to nominal when the last
-// one ends.
-func armCapacityWindow(k *vtime.Kernel, res *vtime.Resource, from, to, fraction float64) {
+// one ends.  The closures read the injector's observability hooks at
+// fire time, so SetMetrics/SetTimeline may run after Arm.
+func (in *Injector) armCapacityWindow(k *vtime.Kernel, res *vtime.Resource, from, to, fraction float64) {
 	nominal := res.Capacity()
 	k.Post(vtime.Action{Delay: from}, func() {
 		res.SetCapacity(nominal * fraction)
+		in.metrics.Injections.Inc()
+		in.timeline.AddMark(k.Now(), "capacity collapse "+res.Name(),
+			fmt.Sprintf("to %gx nominal until t=%g", fraction, to))
 	})
 	k.Post(vtime.Action{Delay: to}, func() {
 		res.SetCapacity(nominal)
+		in.metrics.Injections.Inc()
+		in.timeline.AddMark(k.Now(), "capacity recovery "+res.Name(),
+			fmt.Sprintf("back to nominal %g", nominal))
 	})
 }
 
@@ -123,6 +138,9 @@ func (in *Injector) ComputeFault(c machine.CoreID, now, base float64) (delay, sl
 		if !o.fired && now >= o.at {
 			o.fired = true
 			delay += o.delay
+			in.metrics.Injections.Inc()
+			in.timeline.AddMark(now, fmt.Sprintf("oneoff rank %d", o.rank),
+				fmt.Sprintf("delay %gs armed at t=%g", o.delay, o.at))
 		}
 	}
 	return delay, slow

@@ -1,0 +1,38 @@
+package faults
+
+import "repro/internal/obs"
+
+// Metrics is the injector's self-observability surface.  Injection
+// decisions never read these counters — whether a fault fires depends
+// only on the armed plan and virtual time — so attaching observability
+// cannot change what gets injected.  Handles are nil-safe.
+type Metrics struct {
+	// Injections counts fault firings: each one-off delay, each edge of
+	// a capacity window (collapse and recovery) as it takes effect.
+	Injections *obs.Counter
+}
+
+// NewMetrics interns the injector's metric names in r.  A nil registry
+// yields inert handles.
+func NewMetrics(r *obs.Registry) Metrics {
+	return Metrics{Injections: r.Counter("faults_injections")}
+}
+
+// SetMetrics attaches observability counters.  Safe on a nil Injector
+// (Arm returns nil for an empty plan), so callers wire unconditionally.
+func (in *Injector) SetMetrics(m Metrics) {
+	if in == nil {
+		return
+	}
+	in.metrics = m
+}
+
+// SetTimeline attaches a timeline that receives an instant mark each
+// time a fault fires, for the Perfetto export.  Safe on a nil Injector
+// and with a nil timeline.
+func (in *Injector) SetTimeline(tl *obs.Timeline) {
+	if in == nil {
+		return
+	}
+	in.timeline = tl
+}

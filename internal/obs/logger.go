@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int8
+
+// Log levels, least to most severe.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the level's lowercase name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return "level(" + strconv.Itoa(int(l)) + ")"
+}
+
+// Field is one key=value pair of a structured log line.
+type Field struct {
+	Key string
+	Val any
+}
+
+// F builds a log field.
+func F(key string, val any) Field { return Field{Key: key, Val: val} }
+
+// Logger writes leveled key=value lines with a deterministic field
+// order: timestamp (only when a clock is injected), level, message,
+// the logger's tags in the order they were attached, then the call's
+// fields in argument order.  Determinism matters here the same way it
+// does for traces — two runs of the same seed must be diffable — so the
+// logger never consults a map and never reads the wall clock itself:
+// timestamps appear only through an explicitly injected clock
+// (SetClock), keeping the package clean under cmd/detlint.
+//
+// A nil *Logger discards everything, so instrumented code can log
+// unconditionally.
+type Logger struct {
+	mu    *sync.Mutex
+	w     io.Writer
+	level Level
+	now   func() time.Time // nil: no timestamps
+	tags  []Field
+}
+
+// NewLogger returns a logger writing lines at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	return &Logger{mu: new(sync.Mutex), w: w, level: min}
+}
+
+// SetClock injects the time source used for the ts= field.  A nil clock
+// (the default) omits timestamps entirely — the deterministic choice for
+// artifact-adjacent output.  Callers that want real timestamps pass
+// time.Now at the top level, where the determinism lint's allow
+// directive marks the read as observe-only.
+func (l *Logger) SetClock(now func() time.Time) {
+	if l != nil {
+		l.now = now
+	}
+}
+
+// With returns a child logger whose lines carry the extra tags (for
+// example the run's spec, mode and seed) after the parent's.  The child
+// shares the parent's writer, level, clock and line mutex.
+func (l *Logger) With(tags ...Field) *Logger {
+	if l == nil {
+		return nil
+	}
+	child := *l
+	child.tags = append(append([]Field(nil), l.tags...), tags...)
+	return &child
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, fields ...Field) { l.log(LevelDebug, msg, fields) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, fields ...Field) { l.log(LevelInfo, msg, fields) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, fields ...Field) { l.log(LevelWarn, msg, fields) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, fields ...Field) { l.log(LevelError, msg, fields) }
+
+func (l *Logger) log(lv Level, msg string, fields []Field) {
+	if l == nil || lv < l.level {
+		return
+	}
+	var b strings.Builder
+	if l.now != nil {
+		b.WriteString("ts=")
+		b.WriteString(l.now().UTC().Format(time.RFC3339Nano))
+		b.WriteByte(' ')
+	}
+	b.WriteString("level=")
+	b.WriteString(lv.String())
+	b.WriteString(" msg=")
+	writeValue(&b, msg)
+	for _, f := range l.tags {
+		writeField(&b, f)
+	}
+	for _, f := range fields {
+		writeField(&b, f)
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	io.WriteString(l.w, b.String())
+}
+
+func writeField(b *strings.Builder, f Field) {
+	b.WriteByte(' ')
+	b.WriteString(f.Key)
+	b.WriteByte('=')
+	writeValue(b, f.Val)
+}
+
+// writeValue renders a field value, quoting strings that contain
+// spaces, quotes or '=' so lines stay machine-splittable.
+func writeValue(b *strings.Builder, v any) {
+	switch x := v.(type) {
+	case string:
+		if strings.ContainsAny(x, " \t\n\"=") || x == "" {
+			b.WriteString(strconv.Quote(x))
+		} else {
+			b.WriteString(x)
+		}
+	case error:
+		writeValue(b, x.Error())
+	case fmt.Stringer:
+		writeValue(b, x.String())
+	default:
+		fmt.Fprintf(b, "%v", v)
+	}
+}

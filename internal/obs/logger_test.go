@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoggerFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo)
+	run := l.With(F("spec", "MiniFE-1"), F("mode", "lt_stmt"), F("seed", 3))
+	run.Debug("filtered out")
+	run.Info("job done", F("rep", 2), F("wall", 0.125), F("note", "has spaces"))
+	run.Error("boom", F("err", "deadlock at t=3"))
+	got := buf.String()
+	want := `level=info msg="job done" spec=MiniFE-1 mode=lt_stmt seed=3 rep=2 wall=0.125 note="has spaces"
+level=error msg=boom spec=MiniFE-1 mode=lt_stmt seed=3 err="deadlock at t=3"
+`
+	if got != want {
+		t.Fatalf("log output:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+// TestLoggerInjectedClock: timestamps appear only through an injected
+// clock — the logger itself must never read wall time, so the default
+// output carries no ts= field and an injected fake clock is rendered
+// verbatim.
+func TestLoggerInjectedClock(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelDebug)
+	l.Info("no clock")
+	if strings.Contains(buf.String(), "ts=") {
+		t.Fatalf("timestamp without an injected clock: %q", buf.String())
+	}
+	buf.Reset()
+	fake := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	l.SetClock(func() time.Time { return fake })
+	l.Info("with clock")
+	if want := "ts=2026-08-06T12:00:00Z level=info msg=\"with clock\"\n"; buf.String() != want {
+		t.Fatalf("got %q, want %q", buf.String(), want)
+	}
+}
+
+func TestLoggerLevelGate(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelWarn)
+	l.Debug("no")
+	l.Info("no")
+	l.Warn("yes")
+	l.Error("yes")
+	if n := strings.Count(buf.String(), "\n"); n != 2 {
+		t.Fatalf("level gate passed %d lines, want 2:\n%s", n, buf.String())
+	}
+}
+
+// TestProgressReporting drives the reporter with a fake clock and
+// checks the cadence, the counts and the virtual-cost ETA.
+func TestProgressReporting(t *testing.T) {
+	var buf bytes.Buffer
+	now := time.Date(2026, 8, 6, 9, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	p := NewProgress(&buf, "study", clock)
+	p.Start(4, "MiniFE-1 grid")
+	p.CacheHit()
+	p.JobDone(1.0)
+	now = now.Add(2 * time.Second) // past the 1s cadence
+	p.JobDone(1.0)
+	p.JobRetried()
+	p.JobDropped()
+	now = now.Add(time.Second)
+	p.JobDone(1.0)
+	p.Finish()
+	out := buf.String()
+	for _, want := range []string{
+		"study: MiniFE-1 grid: 4 jobs queued",
+		"study: 2/4 jobs (50%)",
+		"1 cache hits",
+		"eta 2s", // 2s elapsed for 2.0 virtual s done, 2 jobs left at mean 1.0 virtual s
+		"study: done: 4/4 jobs",
+		"1 retried, 1 dropped",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("progress output missing %q:\n%s", want, out)
+		}
+	}
+}

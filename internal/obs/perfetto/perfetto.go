@@ -1,0 +1,296 @@
+// Package perfetto converts the simulator's traces into the Chrome
+// trace-event JSON that Perfetto (ui.perfetto.dev) and chrome://tracing
+// load directly, so a simulated run can be inspected on the same
+// timeline UI used for real profiles.
+//
+// The mapping follows the trace-event format's process/thread model:
+// each MPI rank becomes a process (pid = rank) and each of its OpenMP
+// threads a thread (tid = thread).  Region enter/exit pairs become
+// duration events, point-to-point messages become flow arrows from the
+// send to the matching receive, logical-clock piggyback synchronisations
+// and collective completions become instant events, and an optional
+// obs.Timeline contributes fault-injection instants plus counter tracks
+// of the fluid model's resource capacities under a synthetic "machine"
+// process.
+//
+// Timestamps: the trace-event ts field is in microseconds.  TSC traces
+// tick at core.TSCTicksPerSecond (1e9/s), so one tick renders as 1e-3
+// microseconds and the Perfetto timeline is real virtual time; logical
+// clock modes mint logical ticks, which are exported one tick = one
+// microsecond.  Timeline annotations are recorded in virtual seconds,
+// so they align exactly with the event slices only on tsc traces — on
+// logical traces the two axes are incommensurable, which is precisely
+// the property of logical timers the paper studies.
+//
+// The output is deterministic byte-for-byte: events are emitted in
+// location order and record order, JSON object keys are alphabetical
+// (struct fields are declared sorted; args maps are sorted by
+// encoding/json), and one event per line keeps goldens diffable.
+package perfetto
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// MachinePID is the synthetic process id that carries the machine-level
+// tracks (fault-injection instants, resource-capacity counters), far
+// above any plausible rank number.
+const MachinePID = 1 << 20
+
+// event is one trace-event record.  Field declaration order is
+// alphabetical by JSON key, so the rendered object keys are sorted —
+// the goldens rely on it.
+type event struct {
+	Args map[string]any `json:"args,omitempty"`
+	Bp   string         `json:"bp,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	ID   int            `json:"id,omitempty"`
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	S    string         `json:"s,omitempty"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+}
+
+// tickMicros returns the microseconds one trace tick of the given clock
+// represents on the exported timeline.
+func tickMicros(clock string) float64 {
+	if clock == string(core.ModeTSC) {
+		return 1e6 / core.TSCTicksPerSecond
+	}
+	return 1 // logical ticks: one tick = one microsecond
+}
+
+// flowKey identifies one ordered point-to-point channel; matching is
+// FIFO per key, the non-overtaking order MPI guarantees.
+type flowKey struct {
+	src, dst, tag int32
+}
+
+// matchFlows pairs every send with its receive.  Sends are numbered in
+// (location, record) order starting at 1; a receive adopts the id of
+// the oldest unconsumed send on its (src, dst, tag) channel.  The
+// returned map is keyed by (location index, event index); unmatched
+// receives are absent (rendered as plain instants).
+func matchFlows(tr *trace.Trace) map[[2]int]int {
+	ids := make(map[[2]int]int)
+	queues := make(map[flowKey][]int)
+	next := 1
+	for li := range tr.Locs {
+		lt := &tr.Locs[li]
+		for ei := range lt.Events {
+			e := &lt.Events[ei]
+			if e.Kind != trace.EvSend {
+				continue
+			}
+			k := flowKey{src: int32(lt.Rank), dst: e.A, tag: e.B}
+			ids[[2]int{li, ei}] = next
+			queues[k] = append(queues[k], next)
+			next++
+		}
+	}
+	for li := range tr.Locs {
+		lt := &tr.Locs[li]
+		for ei := range lt.Events {
+			e := &lt.Events[ei]
+			if e.Kind != trace.EvRecv {
+				continue
+			}
+			k := flowKey{src: e.A, dst: int32(lt.Rank), tag: e.B}
+			if q := queues[k]; len(q) > 0 {
+				ids[[2]int{li, ei}] = q[0]
+				queues[k] = q[1:]
+			}
+		}
+	}
+	return ids
+}
+
+// Export writes tr (and, when non-nil, the timeline's annotations) as
+// trace-event JSON.  See the package comment for the mapping and the
+// determinism guarantees.
+func Export(w io.Writer, tr *trace.Trace, tl *obs.Timeline) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(e event) error {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = bw.Write(b)
+		return err
+	}
+
+	// Metadata: name every rank process and thread, then the synthetic
+	// machine process.
+	for li := range tr.Locs {
+		lt := &tr.Locs[li]
+		if lt.Thread == 0 {
+			if err := emit(event{
+				Args: map[string]any{"name": fmt.Sprintf("rank %d", lt.Rank)},
+				Name: "process_name", Ph: "M", Pid: lt.Rank,
+			}); err != nil {
+				return err
+			}
+		}
+		if err := emit(event{
+			Args: map[string]any{"name": fmt.Sprintf("thread %d", lt.Thread)},
+			Name: "thread_name", Ph: "M", Pid: lt.Rank, Tid: lt.Thread,
+		}); err != nil {
+			return err
+		}
+	}
+	hasMachine := tl != nil && (len(tl.Marks()) > 0 || len(tl.Samples()) > 0)
+	if hasMachine {
+		if err := emit(event{
+			Args: map[string]any{"name": "machine"},
+			Name: "process_name", Ph: "M", Pid: MachinePID,
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Event streams, in location then record order.
+	scale := tickMicros(tr.Clock)
+	logical := strings.HasPrefix(tr.Clock, "lt_")
+	flows := matchFlows(tr)
+	for li := range tr.Locs {
+		lt := &tr.Locs[li]
+		for ei := range lt.Events {
+			e := &lt.Events[ei]
+			ts := float64(e.Time) * scale
+			base := event{Pid: lt.Rank, Tid: lt.Thread, Ts: ts}
+			var out event
+			switch e.Kind {
+			case trace.EvEnter:
+				out = base
+				out.Ph = "B"
+				out.Name = tr.RegionName(e.Region)
+				out.Cat = tr.Regions[e.Region].Role.String()
+			case trace.EvExit:
+				out = base
+				out.Ph = "E"
+				out.Name = tr.RegionName(e.Region)
+				out.Cat = tr.Regions[e.Region].Role.String()
+			case trace.EvSend:
+				out = base
+				out.Ph = "s"
+				out.Cat = "msg"
+				out.ID = flows[[2]int{li, ei}]
+				out.Name = fmt.Sprintf("msg to %d tag %d", e.A, e.B)
+				out.Args = map[string]any{"bytes": e.C}
+			case trace.EvRecv:
+				if id, ok := flows[[2]int{li, ei}]; ok {
+					out = base
+					out.Ph = "f"
+					out.Bp = "e"
+					out.Cat = "msg"
+					out.ID = id
+					out.Name = fmt.Sprintf("msg from %d tag %d", e.A, e.B)
+				} else {
+					out = base
+					out.Ph = "i"
+					out.S = "t"
+					out.Name = fmt.Sprintf("unmatched recv from %d tag %d", e.A, e.B)
+				}
+				if logical {
+					if err := emit(out); err != nil {
+						return err
+					}
+					out = base
+					out.Ph = "i"
+					out.S = "t"
+					out.Cat = "piggyback"
+					out.Name = "piggyback sync"
+				}
+			case trace.EvCollEnd:
+				out = base
+				out.Ph = "i"
+				out.S = "t"
+				out.Cat = "mpi-coll"
+				out.Name = fmt.Sprintf("collective end comm %d seq %d", e.A, e.B)
+				out.Args = map[string]any{"bytes": e.C}
+				if logical {
+					if err := emit(out); err != nil {
+						return err
+					}
+					out = base
+					out.Ph = "i"
+					out.S = "t"
+					out.Cat = "piggyback"
+					out.Name = "piggyback sync"
+				}
+			case trace.EvFork:
+				out = base
+				out.Ph = "i"
+				out.S = "t"
+				out.Cat = "omp"
+				out.Name = fmt.Sprintf("fork team %d", e.A)
+			case trace.EvJoin:
+				out = base
+				out.Ph = "i"
+				out.S = "t"
+				out.Cat = "omp"
+				out.Name = "join"
+			case trace.EvBarrier:
+				out = base
+				out.Ph = "i"
+				out.S = "t"
+				out.Cat = "omp"
+				out.Name = fmt.Sprintf("barrier team %d", e.A)
+			default:
+				continue
+			}
+			if err := emit(out); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Machine tracks from the timeline: fault instants and capacity
+	// counters, both recorded in virtual seconds.
+	if tl != nil {
+		for _, m := range tl.Marks() {
+			if err := emit(event{
+				Args: map[string]any{"detail": m.Detail},
+				Cat:  "fault",
+				Name: m.Name, Ph: "i", Pid: MachinePID, S: "g",
+				Ts: m.T * 1e6,
+			}); err != nil {
+				return err
+			}
+		}
+		for _, s := range tl.Samples() {
+			if err := emit(event{
+				Args: map[string]any{"value": s.Value},
+				Name: s.Track, Ph: "C", Pid: MachinePID,
+				Ts: s.T * 1e6,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

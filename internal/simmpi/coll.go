@@ -152,6 +152,12 @@ func (c *Comm) finish(p *Proc, s *collSlot, pb uint64) uint64 {
 	s.arrived++
 	a := p.Loc.Actor
 	if s.arrived == len(c.ranks) {
+		c.w.metrics.CollRounds.Inc()
+		if s.maxPB != 0 {
+			// Every participant adopts the slot's piggyback maximum on
+			// release: one logical-clock sync per rank.
+			c.w.metrics.PiggybackSyncs.Add(uint64(len(c.ranks)))
+		}
 		d := c.cost(s)
 		c.w.K.Post(vtime.Action{Delay: d}, func() {
 			s.released = true

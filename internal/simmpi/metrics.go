@@ -1,0 +1,41 @@
+package simmpi
+
+import "repro/internal/obs"
+
+// Metrics is the runtime's self-observability surface.  The runtime
+// only writes these counters; no matching, protocol or timing decision
+// reads them back, so attaching observability cannot perturb a run
+// (the experiment package's golden traces enforce this byte-for-byte).
+// All handles are nil-safe: the zero Metrics observes nothing.
+type Metrics struct {
+	// Messages counts point-to-point sends started (Isend/Send).
+	Messages *obs.Counter
+	// MessageBytes counts point-to-point payload bytes sent.
+	MessageBytes *obs.Counter
+	// Rendezvous counts the sends that exceeded the eager threshold.
+	Rendezvous *obs.Counter
+	// CollRounds counts collective operations completed (one per slot,
+	// not per participant).
+	CollRounds *obs.Counter
+	// PiggybackSyncs counts logical-clock piggyback synchronisations: a
+	// receive matching a message with a non-zero piggyback, or a rank
+	// leaving a collective that carried one.  This is the information
+	// flow the paper's logical timers ride on.
+	PiggybackSyncs *obs.Counter
+}
+
+// NewMetrics interns the runtime's metric names in r.  A nil registry
+// yields inert handles.
+func NewMetrics(r *obs.Registry) Metrics {
+	return Metrics{
+		Messages:       r.Counter("simmpi_messages"),
+		MessageBytes:   r.Counter("simmpi_message_bytes"),
+		Rendezvous:     r.Counter("simmpi_rendezvous"),
+		CollRounds:     r.Counter("simmpi_coll_rounds"),
+		PiggybackSyncs: r.Counter("simmpi_piggyback_syncs"),
+	}
+}
+
+// SetMetrics attaches observability counters to the world.  Call before
+// Launch; the zero Metrics detaches.
+func (w *World) SetMetrics(m Metrics) { w.metrics = m }

@@ -40,6 +40,8 @@ func (p *Proc) Isend(dst, tag int, data []float64, bytes int, pb uint64) *Reques
 	}
 	a := p.Loc.Actor
 	a.Compute(p.W.Cfg.SendOverhead)
+	p.W.metrics.Messages.Inc()
+	p.W.metrics.MessageBytes.Add(uint64(bytes))
 	msg := &Message{
 		Src: p.Rank, Dst: dst, Tag: tag,
 		Bytes: bytes, Piggyback: pb,
@@ -65,6 +67,7 @@ func (p *Proc) Isend(dst, tag int, data []float64, bytes int, pb uint64) *Reques
 	// Rendezvous: announce the message now (header-only transfer); the
 	// payload moves once the receiver matches, and only then does the
 	// send request complete.
+	p.W.metrics.Rendezvous.Inc()
 	msg.rendezvous = true
 	hdr := p.W.M.TransferAction(srcCore, dstCore, 64, p.Loc.Noise)
 	p.W.K.Post(hdr, func() {
@@ -162,6 +165,9 @@ func (p *Proc) deliver(m *Message) {
 // starts now and both sides complete when it finishes.
 func (p *Proc) match(req *Request, m *Message) {
 	m.consumed = true
+	if m.Piggyback != 0 {
+		p.W.metrics.PiggybackSyncs.Inc()
+	}
 	p.removeFromMbox(m)
 	if !m.rendezvous {
 		req.msg = m

@@ -71,6 +71,7 @@ type World struct {
 	procs      []*Proc
 	world      *Comm
 	subs       map[string]*Comm
+	metrics    Metrics // observe-only counters (zero value: no-op)
 }
 
 // Proc is one MPI rank.

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 )
 
 // ErrTruncated reports a trace file that ends mid-stream.  Errors from
@@ -133,6 +134,10 @@ func fail(section string, err error) error {
 // cut-off file, and analyses like ltlint can report the exact offending
 // record of a partially corrupted trace.
 type RecordError struct {
+	// Path is the trace file being read, when known.  Read leaves it
+	// empty (an io.Reader has no name); ReadFile fills it in, so batch
+	// tools reading many traces report which file held the bad record.
+	Path   string
 	Loc    int // index into Trace.Locs
 	Rank   int
 	Thread int
@@ -142,10 +147,35 @@ type RecordError struct {
 }
 
 func (e *RecordError) Error() string {
+	if e.Path != "" {
+		return fmt.Sprintf("%s: location %d (rank %d thread %d): %v", e.Path, e.Loc, e.Rank, e.Thread, e.Err)
+	}
 	return fmt.Sprintf("location %d (rank %d thread %d): %v", e.Loc, e.Rank, e.Thread, e.Err)
 }
 
 func (e *RecordError) Unwrap() error { return e.Err }
+
+// ReadFile reads a trace from a file.  It is Read plus provenance:
+// any *RecordError coming out of the decode carries the file path, and
+// other failures are wrapped with it, so multi-file tools (ltlint,
+// ltviz) name the offending file without extra bookkeeping.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := Read(f)
+	if err != nil {
+		var re *RecordError
+		if errors.As(err, &re) {
+			re.Path = path
+			return nil, err
+		}
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
 
 // Read deserialises a trace written by Write.  It fails with a precise
 // diagnostic — bad magic, unsupported version, implausible count, or an

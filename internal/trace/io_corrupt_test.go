@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -161,5 +163,55 @@ func TestReadRecordContext(t *testing.T) {
 	}
 	if !sawRecord {
 		t.Fatal("no truncation point produced a RecordError")
+	}
+}
+
+// ReadFile must stamp the file path onto every failure: RecordErrors
+// carry it in the Path field (and render it), and non-record failures
+// are wrapped with it.
+func TestReadFileStampsPath(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := sample().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+
+	good := filepath.Join(dir, "good.ltrc")
+	if err := os.WriteFile(good, whole, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(good); err != nil {
+		t.Fatalf("ReadFile on a valid trace: %v", err)
+	}
+
+	// Cut inside an event stream: the RecordError must name the file.
+	cut := filepath.Join(dir, "cut.ltrc")
+	if err := os.WriteFile(cut, whole[:len(whole)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadFile(cut)
+	var rerr *RecordError
+	if !errors.As(err, &rerr) {
+		t.Fatalf("truncated event stream: got %v, want a RecordError", err)
+	}
+	if rerr.Path != cut {
+		t.Fatalf("RecordError.Path = %q, want %q", rerr.Path, cut)
+	}
+	if !strings.Contains(err.Error(), cut) || !strings.Contains(err.Error(), "rank") {
+		t.Fatalf("message lacks path or record context: %v", err)
+	}
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("path stamping broke the ErrTruncated chain: %v", err)
+	}
+
+	// A header-level failure (bad magic) has no record context but must
+	// still be wrapped with the path.
+	bad := filepath.Join(dir, "bad.ltrc")
+	if err := os.WriteFile(bad, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(bad); err == nil || !strings.Contains(err.Error(), bad) {
+		t.Fatalf("bad-magic error lacks the path: %v", err)
 	}
 }

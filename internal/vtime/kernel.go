@@ -10,9 +10,10 @@ import (
 // nowFunc is the kernel's single window onto the host clock, used only
 // by the watchdog's wall-clock budget — simulation state never depends
 // on it.  It is a variable so tests can substitute a fake clock and
-// exercise the watchdog without real elapsed time.  This is the one
-// sanctioned wall-clock read in the repo; everything else must fail the
-// determinism lint (cmd/detlint).
+// exercise the watchdog without real elapsed time.  Wall-clock reads
+// are otherwise sanctioned only in cmd binaries that inject time.Now
+// into observe-only reporting (obs.Progress, obs.Logger); everything
+// else must fail the determinism lint (cmd/detlint).
 var nowFunc = time.Now //detlint:allow wallclock
 
 // Kernel is the central scheduler of a virtual-time simulation.  Create one
@@ -46,6 +47,14 @@ type Kernel struct {
 	// Post submissions, so detached actions (fault injectors, timers)
 	// do not allocate once the simulation is warm.
 	freeActions []*Action
+
+	// metrics holds observe-only counters (zero value: all no-op).  The
+	// kernel only ever writes them; see Metrics.
+	metrics Metrics
+
+	// capObserver, when set, is told about every resource registration
+	// and capacity change.  Observe-only; see SetCapacityObserver.
+	capObserver func(now float64, resource string, capacity float64)
 }
 
 // Watchdog bounds a simulation run.  A zero field disables that limit;
@@ -198,6 +207,8 @@ func (k *Kernel) Run() error {
 			return k.deadlockError()
 		}
 		k.steps++
+		k.metrics.Steps.Inc()
+		k.metrics.HeapSize.Set(int64(k.heap.Len()))
 		if err := k.checkWatchdog(); err != nil {
 			return err
 		}
@@ -315,6 +326,8 @@ func (k *Kernel) flushDirty() bool {
 	if len(k.dirty) == 0 {
 		return false
 	}
+	k.metrics.DirtyFlushes.Inc()
+	k.metrics.Resettles.Add(uint64(len(k.dirty)))
 	for i, r := range k.dirty {
 		r.dirty = false
 		k.dirty[i] = nil
@@ -365,6 +378,7 @@ func (a *Action) settle(t float64) {
 func (k *Kernel) complete(a *Action) {
 	a.phase = phaseDone
 	k.completed++
+	k.metrics.Completions.Inc()
 	if a.onComplete != nil {
 		a.onComplete()
 		if a.posted {
@@ -405,6 +419,7 @@ func (k *Kernel) Post(a Action, fn func()) {
 	*act = a
 	act.onComplete = fn
 	act.posted = true
+	k.metrics.Posts.Inc()
 	k.submit(act)
 }
 

@@ -35,6 +35,9 @@ func (k *Kernel) NewResource(name string, capacity float64) *Resource {
 	}
 	r := &Resource{k: k, name: name, capacity: capacity}
 	k.resources = append(k.resources, r)
+	if k.capObserver != nil {
+		k.capObserver(k.now, name, capacity)
+	}
 	return r
 }
 
@@ -57,6 +60,9 @@ func (r *Resource) SetCapacity(c float64) {
 	}
 	r.capacity = c
 	r.k.markDirty(r)
+	if obs := r.k.capObserver; obs != nil {
+		obs(r.k.now, r.name, c)
+	}
 }
 
 // Load returns the number of actions currently drawing on the resource.
