@@ -14,6 +14,16 @@
 //	ltviz -spec MiniFE-1 -mode lt_stmt -o minife.json
 //	ltviz -spec MiniFE-1 -mode tsc -faults "membw:node=0,at=0.001,dur=0.005,factor=0.2" -o fault.json
 //
+// With -front (requires -spec and -faults), ltviz additionally runs the
+// same configuration *without* the faults, feeds the pair through the
+// delay-propagation analyzer, and overlays the delay front on the
+// machine track: one instant mark per rank at the moment the injected
+// delay first exceeded the detection threshold there.  On logical-clock
+// traces whose runs are byte-identical the overlay is empty — the
+// front is invisible to that clock, which is the point:
+//
+//	ltviz -spec Ring-16 -mode tsc -faults "oneoff:rank=8,at=0.01,delay=0.002" -front -o front.json
+//
 // Timestamps are trace clock ticks scaled to the trace-event format's
 // microseconds: real time for tsc traces, logical ticks (one per
 // microsecond) for the logical modes — so the machine timeline, which
@@ -34,6 +44,7 @@ import (
 	"repro/internal/noise"
 	"repro/internal/obs"
 	"repro/internal/obs/perfetto"
+	"repro/internal/propagation"
 	"repro/internal/trace"
 )
 
@@ -47,13 +58,17 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink the -spec problem")
 	noNoise := flag.Bool("no-noise", false, "disable all noise sources in -spec runs")
 	faultSpec := flag.String("faults", "", `fault plan for -spec runs, e.g. "oneoff:rank=2,at=0.01,delay=0.005"`)
+	front := flag.Bool("front", false, "overlay the delay front from a matching baseline run (needs -spec and -faults)")
 	flag.Parse()
 
+	if *front && (*spec == "" || *faultSpec == "") {
+		log.Fatal("-front needs both -spec and -faults: the overlay diffs a faulted run against its baseline")
+	}
 	if *spec != "" {
 		if flag.NArg() > 0 {
 			log.Fatal("-spec and trace-file arguments are mutually exclusive")
 		}
-		tr, tl, err := runSpec(*spec, *mode, *seed, *quick, *noNoise, *faultSpec)
+		tr, tl, err := runSpec(*spec, *mode, *seed, *quick, *noNoise, *faultSpec, *front)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -87,8 +102,10 @@ func main() {
 }
 
 // runSpec executes one configuration in-process with a timeline
-// attached and returns the trace plus the machine annotations.
-func runSpec(name, mode string, seed int64, quick, noNoise bool, faultSpec string) (*trace.Trace, *obs.Timeline, error) {
+// attached and returns the trace plus the machine annotations.  With
+// front set it also runs the fault-free baseline and overlays the
+// delay-propagation analysis as timeline marks.
+func runSpec(name, mode string, seed int64, quick, noNoise bool, faultSpec string, front bool) (*trace.Trace, *obs.Timeline, error) {
 	sp, err := experiment.SpecByName(name, experiment.Options{Quick: quick})
 	if err != nil {
 		return nil, nil, err
@@ -116,7 +133,47 @@ func runSpec(name, mode string, seed int64, quick, noNoise bool, faultSpec strin
 	if err != nil {
 		return nil, nil, err
 	}
+	if front {
+		if err := overlayFront(tl, sp, cfg, seed, np, res.Trace); err != nil {
+			return nil, nil, err
+		}
+	}
 	return res.Trace, tl, nil
+}
+
+// overlayFront re-runs the configuration without the fault plan, diffs
+// the baseline against the faulted trace through the propagation
+// analyzer, and marks each rank's delay-front crossing on the timeline.
+// Marks are in virtual seconds, so they land on the timeline axis the
+// machine track already uses; FrontTime is in baseline clock ticks and
+// scales by the clock's tick length.  A clock that never saw the fault
+// contributes a single "front invisible" mark instead.
+func overlayFront(tl *obs.Timeline, sp experiment.Spec, cfg measure.Config, seed int64, np noise.Params, faulted *trace.Trace) error {
+	base, err := experiment.RunWithOptions(sp, experiment.RunOptions{
+		Cfg: &cfg, Seed: seed, Noise: np,
+	})
+	if err != nil {
+		return fmt.Errorf("front baseline: %w", err)
+	}
+	a, err := propagation.Analyze(base.Trace, faulted, propagation.Options{})
+	if err != nil {
+		return fmt.Errorf("front analysis: %w", err)
+	}
+	scale := perfetto.TickSeconds(a.Clock)
+	if !a.Observed {
+		tl.AddMark(0, "front invisible",
+			fmt.Sprintf("clock %s shows no delta above %.4g ticks", a.Clock, a.ThresholdTicks))
+		return nil
+	}
+	for _, rd := range a.Ranks {
+		if rd.FrontTime < 0 {
+			continue
+		}
+		tl.AddMark(rd.FrontTime*scale,
+			fmt.Sprintf("delay front rank %d", rd.Rank),
+			fmt.Sprintf("iter %d, peak %.4g ticks, %s", rd.FrontIter, rd.Peak, rd.Class))
+	}
+	return nil
 }
 
 // writeJSON exports to the given path, or stdout when path is empty.

@@ -39,7 +39,13 @@ type goldenSums struct {
 // timestamps, completion order or analysis severities fails here instead
 // of silently skewing the paper's tables.
 func TestGoldenChecksums(t *testing.T) {
-	apps := []string{"MiniFE-1", "LULESH-1", "TeaLeaf-1"}
+	apps := []string{
+		"MiniFE-1", "LULESH-1", "TeaLeaf-1",
+		// The propagation-pattern workloads are pinned alongside the paper
+		// apps: a drift in their traces would silently reshape every delay
+		// front the propagation studies measure.
+		"Ring-16", "RingSlack-16", "Torus-16", "Pipeline-8", "MasterWorker-8",
+	}
 	got := make(map[string]goldenSums)
 	for _, app := range apps {
 		spec, err := SpecByName(app, Options{Quick: true})

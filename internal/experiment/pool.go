@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/measure"
 	"repro/internal/obs"
 	"repro/internal/runcache"
@@ -272,16 +273,30 @@ func cacheKey(spec Spec, o RunOptions) (runcache.Key, bool) {
 
 // entryOf converts a run result to its cached form.
 func entryOf(r *RunResult) *runcache.Entry {
-	return &runcache.Entry{
+	e := &runcache.Entry{
 		Mode: string(r.Mode), Wall: r.Wall, Phases: r.Phases,
 		Checks: r.Checks, FoM: r.FoM, Trace: r.Trace, Profile: r.Profile,
 	}
+	for _, a := range r.Applied {
+		e.Applied = append(e.Applied, runcache.AppliedFault{
+			Kind: string(a.Kind), Rank: a.Rank, Core: a.Core,
+			Resource: a.Resource, At: a.At, Magnitude: a.Magnitude,
+		})
+	}
+	return e
 }
 
 // resultOf converts a cached entry back to a run result.
 func resultOf(e *runcache.Entry) *RunResult {
-	return &RunResult{
+	r := &RunResult{
 		Mode: core.Mode(e.Mode), Wall: e.Wall, Phases: e.Phases,
 		Checks: e.Checks, FoM: e.FoM, Trace: e.Trace, Profile: e.Profile,
 	}
+	for _, a := range e.Applied {
+		r.Applied = append(r.Applied, faults.AppliedFault{
+			Kind: faults.Kind(a.Kind), Rank: a.Rank, Core: a.Core,
+			Resource: a.Resource, At: a.At, Magnitude: a.Magnitude,
+		})
+	}
+	return r
 }

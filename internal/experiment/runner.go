@@ -29,6 +29,9 @@ type RunResult struct {
 	FoM     float64       // summed figure of merit (0 if not reported)
 	Trace   *trace.Trace  // nil for reference runs
 	Profile *cube.Profile // nil unless analyzed
+	// Applied is the injector's applied-fault log (nil without a plan):
+	// what actually fired, at which virtual instant, against which target.
+	Applied []faults.AppliedFault
 }
 
 // RunOptions bundles everything that can vary about one simulated job
@@ -100,12 +103,13 @@ func RunWithOptions(spec Spec, o RunOptions) (*RunResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiment %s: %w", spec.Name, err)
 	}
+	var inj *faults.Injector
 	if o.Faults != nil {
 		plan := *o.Faults
 		if plan.Seed == 0 {
 			plan.Seed = o.Seed
 		}
-		inj, err := faults.Arm(k, m, place, plan)
+		inj, err = faults.Arm(k, m, place, plan)
 		if err != nil {
 			return nil, fmt.Errorf("experiment %s: %w", spec.Name, err)
 		}
@@ -145,6 +149,7 @@ func RunWithOptions(spec Spec, o RunOptions) (*RunResult, error) {
 		return nil, fmt.Errorf("experiment %s (%s): %w", spec.Name, mode, err)
 	}
 	out.Wall = k.Now()
+	out.Applied = inj.Applied()
 	for name, v := range phaseSums {
 		out.Phases[name] = v / float64(spec.Ranks)
 	}

@@ -136,9 +136,15 @@ func Specs(opt Options) []Spec {
 	}
 }
 
-// SpecByName finds a configuration by its paper name.
+// SpecByName finds a configuration by name, searching the paper specs
+// first and then the communication-pattern specs.
 func SpecByName(name string, opt Options) (Spec, error) {
 	for _, s := range Specs(opt) {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	for _, s := range PatternSpecs(opt) {
 		if s.Name == name {
 			return s, nil
 		}

@@ -23,6 +23,7 @@ package faults
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"strconv"
@@ -109,73 +110,154 @@ func (p Plan) startTime(i int) float64 {
 	return at
 }
 
-// Validate checks the plan against a job shape: ranks in the world, nodes
-// and NUMA domains in the allocation.
-func (p Plan) Validate(ranks, nodes, domains int) error {
-	if p.Jitter < 0 {
-		return fmt.Errorf("faults: negative jitter %g", p.Jitter)
-	}
-	for i, f := range p.Faults {
-		if err := f.validate(ranks, nodes, domains); err != nil {
-			return fmt.Errorf("faults: fault %d: %w", i, err)
-		}
-	}
-	return nil
+// PlanError is a structured validation failure.  It names the offending
+// plan entry by index and value, so a CLI user or study harness can point
+// at exactly the fault that was rejected instead of guessing which of a
+// semicolon-separated spec misbehaved.  For overlap failures Other is the
+// index of the second entry involved; otherwise it is -1.
+type PlanError struct {
+	Index  int    // position in Plan.Faults; -1 for plan-level failures
+	Other  int    // second entry of a pairwise failure, else -1
+	Fault  Fault  // the offending entry (zero for plan-level failures)
+	Reason string // human-readable cause
 }
 
-func (f Fault) validate(ranks, nodes, domains int) error {
-	if f.At < 0 {
-		return fmt.Errorf("%s: negative start time %g", f.Kind, f.At)
+// Error renders the failure with the offending entry spelled out in the
+// ParseSpec grammar.
+func (e *PlanError) Error() string {
+	if e.Index < 0 {
+		return "faults: " + e.Reason
 	}
-	if f.Duration < 0 {
-		return fmt.Errorf("%s: negative duration %g", f.Kind, f.Duration)
+	if e.Other >= 0 {
+		return fmt.Sprintf("faults: fault %d (%s): %s (conflicts with fault %d)",
+			e.Index, e.Fault.String(), e.Reason, e.Other)
 	}
-	checkRank := func() error {
-		if f.Rank < 0 || f.Rank >= ranks {
-			return fmt.Errorf("%s: rank %d out of range [0,%d)", f.Kind, f.Rank, ranks)
+	return fmt.Sprintf("faults: fault %d (%s): %s", e.Index, e.Fault.String(), e.Reason)
+}
+
+// badNum reports a value that can never be a meaningful time, duration or
+// factor: NaN or an infinity.  Plain range checks let NaN through (every
+// comparison on NaN is false), which is how a NaN start time used to arm
+// a fault that silently never fires.
+func badNum(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
+
+// Validate checks the plan against a job shape: ranks in the world, nodes
+// and NUMA domains in the allocation.  It rejects non-finite times and
+// magnitudes, empty or inverted windows, fractions outside (0,1], targets
+// outside the job, and overlapping capacity windows on the same resource
+// (the injector restores the capacity recorded at collapse time, so two
+// overlapping windows would "recover" to the other window's collapsed
+// value).  Every failure is a *PlanError naming the offending entry.
+func (p Plan) Validate(ranks, nodes, domains int) error {
+	if badNum(p.Jitter) || p.Jitter < 0 {
+		return &PlanError{Index: -1, Other: -1, Reason: fmt.Sprintf("jitter %g must be finite and non-negative", p.Jitter)}
+	}
+	for i, f := range p.Faults {
+		if reason := f.validate(ranks, nodes, domains); reason != "" {
+			return &PlanError{Index: i, Other: -1, Fault: f, Reason: reason}
 		}
-		return nil
+	}
+	return p.validateCapacityWindows()
+}
+
+// validate returns the reason one fault is invalid, or "" when it is fine.
+func (f Fault) validate(ranks, nodes, domains int) string {
+	if badNum(f.At) || f.At < 0 {
+		return fmt.Sprintf("start time %g must be finite and non-negative", f.At)
+	}
+	if badNum(f.Duration) || f.Duration < 0 {
+		return fmt.Sprintf("duration %g must be finite and non-negative", f.Duration)
+	}
+	if badNum(f.Delay) || badNum(f.Factor) {
+		return "delay and factor must be finite"
+	}
+	checkRank := func() string {
+		if f.Rank < 0 || f.Rank >= ranks {
+			return fmt.Sprintf("rank %d out of range [0,%d)", f.Rank, ranks)
+		}
+		return ""
+	}
+	window := func() string {
+		if f.Duration == 0 {
+			return "window needs a positive duration (from must precede to)"
+		}
+		if f.Factor <= 0 || f.Factor > 1 {
+			return fmt.Sprintf("capacity fraction %g out of (0,1]", f.Factor)
+		}
+		return ""
 	}
 	switch f.Kind {
 	case OneOffDelay:
 		if f.Delay <= 0 {
-			return fmt.Errorf("oneoff: delay %g must be positive", f.Delay)
+			return fmt.Sprintf("delay %g must be positive", f.Delay)
 		}
 		return checkRank()
 	case Straggler:
 		if f.Factor <= 1 {
-			return fmt.Errorf("straggler: factor %g must exceed 1", f.Factor)
+			return fmt.Sprintf("factor %g must exceed 1", f.Factor)
 		}
 		return checkRank()
 	case LinkDegrade:
 		if f.Node < 0 || f.Node >= nodes {
-			return fmt.Errorf("linkdown: node %d out of range [0,%d)", f.Node, nodes)
+			return fmt.Sprintf("node %d out of range [0,%d)", f.Node, nodes)
 		}
-		if f.Factor <= 0 || f.Factor > 1 {
-			return fmt.Errorf("linkdown: capacity fraction %g out of (0,1]", f.Factor)
-		}
-		if f.Duration == 0 {
-			return fmt.Errorf("linkdown: window needs a positive duration")
-		}
-		return nil
+		return window()
 	case MemDegrade:
 		if f.Domain < 0 || f.Domain >= domains {
-			return fmt.Errorf("membw: domain %d out of range [0,%d)", f.Domain, domains)
+			return fmt.Sprintf("domain %d out of range [0,%d)", f.Domain, domains)
 		}
-		if f.Factor <= 0 || f.Factor > 1 {
-			return fmt.Errorf("membw: capacity fraction %g out of (0,1]", f.Factor)
-		}
-		if f.Duration == 0 {
-			return fmt.Errorf("membw: window needs a positive duration")
-		}
-		return nil
+		return window()
 	case CtrGlitch:
 		if f.Factor <= 0 {
-			return fmt.Errorf("ctrglitch: over-count fraction %g must be positive", f.Factor)
+			return fmt.Sprintf("over-count fraction %g must be positive", f.Factor)
 		}
 		return checkRank()
 	}
-	return fmt.Errorf("unknown fault kind %q", f.Kind)
+	return fmt.Sprintf("unknown fault kind %q", f.Kind)
+}
+
+// validateCapacityWindows rejects two capacity windows of the same kind on
+// the same resource whose jitter-effective [from, to) intervals overlap.
+// The comparison uses startTime, so a plan that is clean on paper but
+// overlaps once its seeded jitter is applied is still rejected.
+func (p Plan) validateCapacityWindows() error {
+	type win struct {
+		index    int
+		from, to float64
+	}
+	byResource := make(map[string][]win)
+	for i, f := range p.Faults {
+		var key string
+		switch f.Kind {
+		case LinkDegrade:
+			key = fmt.Sprintf("nic/%d", f.Node)
+		case MemDegrade:
+			key = fmt.Sprintf("numa/%d", f.Domain)
+		default:
+			continue
+		}
+		from := p.startTime(i)
+		byResource[key] = append(byResource[key], win{index: i, from: from, to: from + f.Duration})
+	}
+	for _, wins := range byResource {
+		sort.Slice(wins, func(a, b int) bool {
+			if wins[a].from != wins[b].from {
+				return wins[a].from < wins[b].from
+			}
+			return wins[a].index < wins[b].index
+		})
+		for j := 1; j < len(wins); j++ {
+			prev, cur := wins[j-1], wins[j]
+			if cur.from < prev.to {
+				return &PlanError{
+					Index: cur.index, Other: prev.index, Fault: p.Faults[cur.index],
+					Reason: fmt.Sprintf("capacity window [%g,%g) overlaps window [%g,%g) on the same resource",
+						cur.from, cur.to, prev.from, prev.to),
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // String renders the plan in the ParseSpec grammar.

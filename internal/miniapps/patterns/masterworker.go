@@ -1,0 +1,124 @@
+package patterns
+
+import (
+	"fmt"
+
+	"repro/internal/measure"
+	"repro/internal/simmpi"
+	"repro/internal/work"
+)
+
+// MasterWorkerConfig shapes a self-scheduling task farm: rank 0 deals
+// items to whichever worker returns first, workers compute and send the
+// result back.  Propagation behaves unlike the neighbour patterns: a
+// delayed worker does not stall its peers — the master simply routes
+// around it — so injected delays are largely absorbed by the farm's
+// scheduling slack, and the interesting observable is the reassignment
+// (which the analyzer surfaces as Misaligned events on the master when
+// completion order flips).
+type MasterWorkerConfig struct {
+	// Items is the number of work items the master deals out.
+	Items int
+	// Cells is the nominal per-item compute on a worker.
+	Cells int
+	// Slack is the deterministic per-(worker, item) work shedding
+	// fraction — here it models heterogeneous item sizes.
+	Slack float64
+	// Bytes is the declared payload per item and per result.
+	Bytes int
+}
+
+// DefaultMasterWorker returns the 8-rank study configuration.
+func DefaultMasterWorker() MasterWorkerConfig {
+	return MasterWorkerConfig{Items: 42, Cells: 500_000, Slack: 0, Bytes: 32 << 10}
+}
+
+// Describe summarises the configuration for reports.
+func (c MasterWorkerConfig) Describe() string {
+	return fmt.Sprintf("master-worker, %d items, %d cells/item, slack %.0f%%",
+		c.Items, c.Cells, c.Slack*100)
+}
+
+const (
+	tagTask   = 41 // item payload, master -> worker
+	tagResult = 42 // result payload, worker -> master
+	tagStop   = 43 // empty stop marker, master -> worker
+)
+
+// RunMasterWorker executes the farm member on the calling rank.
+func RunMasterWorker(r *measure.Rank, cfg MasterWorkerConfig) Result {
+	me, n := r.Rank(), r.Size()
+	if n < 2 {
+		panic("patterns: master-worker needs at least 2 ranks")
+	}
+	var local float64
+	items := 0
+	if me == 0 {
+		local = runMaster(r, cfg, n)
+		items = cfg.Items
+	} else {
+		items = runWorker(r, cfg)
+	}
+	sum := r.Allreduce([]float64{local}, simmpi.OpSum)
+	return Result{Check: sum[0], Items: items}
+}
+
+func runMaster(r *measure.Rank, cfg MasterWorkerConfig, n int) float64 {
+	workers := n - 1
+	payload := make([]float64, 8)
+	var acc float64
+	sent, done := 0, 0
+	// Prime every worker with one item, then deal the rest to whichever
+	// worker finishes first; items arrive back in completion order, so
+	// injected delays visibly reorder the master's event stream.
+	pending := make([]*simmpi.Request, 0, workers)
+	for w := 1; w <= workers && sent < cfg.Items; w++ {
+		payload[0] = float64(sent + 1)
+		r.Send(w, tagTask, payload, cfg.Bytes)
+		pending = append(pending, r.Irecv(w, tagResult))
+		sent++
+	}
+	for done < sent {
+		r.Enter("iteration")
+		i := r.Waitany(pending)
+		m := pending[i].Msg()
+		acc += m.Data[0]
+		done++
+		if sent < cfg.Items {
+			payload[0] = float64(sent + 1)
+			r.Send(m.Src, tagTask, payload, cfg.Bytes)
+			pending[i] = r.Irecv(m.Src, tagResult)
+			sent++
+		} else {
+			r.Send(m.Src, tagStop, nil, 64)
+			pending = append(pending[:i], pending[i+1:]...)
+		}
+		r.Exit()
+	}
+	// Workers primed but never dealt an item (more workers than items)
+	// still need their stop marker.
+	for w := cfg.Items + 1; w <= workers; w++ {
+		r.Send(w, tagStop, nil, 64)
+	}
+	return acc
+}
+
+func runWorker(r *measure.Rank, cfg MasterWorkerConfig) int {
+	me := r.Rank()
+	result := make([]float64, 8)
+	items := 0
+	for {
+		m := r.Recv(0, simmpi.AnyTag)
+		if m.Tag == tagStop {
+			return items
+		}
+		r.Enter("iteration")
+		r.Region("compute", func() {
+			result[0] = m.Data[0] * float64(me) * 1e-3
+			r.Work(work.PerIter(costCell, effCells(cfg.Cells, cfg.Slack, me, items)))
+		})
+		r.Send(0, tagResult, result, cfg.Bytes)
+		r.Exit()
+		items++
+	}
+}

@@ -1,0 +1,57 @@
+// Package patterns provides small communication-pattern workloads built
+// for the delay-propagation studies (internal/propagation).  Unlike the
+// paper's mini-apps, which reproduce real benchmark structure, these are
+// minimal transport media: a halo-exchange ring and 2D torus, a pipeline,
+// and a master–worker farm.  Each exposes the knobs the Afzal experiments
+// turn — a per-iteration communication dependency for the delay front to
+// travel along, and a Slack knob that loosens the lockstep so injected
+// delays have idle time to decay into.
+//
+// Every pattern wraps each step in an "iteration" region — the marker the
+// propagation analyzer uses for front-iteration and desynchronization
+// metrics — and returns a numeric check that is independent of the Slack
+// knob (slack perturbs only the declared work, never the arithmetic), so
+// the harness can still assert that instrumentation does not change
+// numerics.
+package patterns
+
+import "repro/internal/work"
+
+// Result normalises a pattern run's outcome.
+type Result struct {
+	// Check is the run's numeric fingerprint, equal across timer modes.
+	Check float64
+	// Items counts completed iterations (or pipeline/farm items).
+	Items int
+}
+
+// costCell is the declared per-cell cost of pattern compute phases:
+// mildly memory-heavy streaming work, one virtual flop per cell keeping
+// the tsc/flops relation simple (CoreFlops ticks per second of compute).
+var costCell = work.Cost{BB: 4, Stmt: 12, Instr: 24, Bytes: 64, Flops: 8}
+
+// jitter returns a deterministic value in [0,1) from (rank, iter) — a
+// splitmix64-style hash, so two runs of the same spec see identical
+// "random" imbalance regardless of seed, clock mode or fault plan.
+func jitter(rank, iter int) float64 {
+	h := uint64(rank)*0x9E3779B97F4A7C15 + uint64(iter)*0xBF58476D1CE4E5B9 + 0x94D049BB133111EB
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return float64(h>>11) / float64(1<<53)
+}
+
+// effCells applies the Slack knob: each (rank, iteration) sheds up to
+// slack of its cells, deterministically.  The resulting work imbalance
+// makes ranks regularly arrive early at their communication and wait —
+// the idle budget that absorbs a propagating delay (Afzal's decay
+// regime).  Slack 0 keeps perfect lockstep: zero wait, and an injected
+// delay propagates undamped at one rank per iteration.
+func effCells(cells int, slack float64, rank, iter int) float64 {
+	if slack <= 0 {
+		return float64(cells)
+	}
+	return float64(cells) * (1 - slack*jitter(rank, iter))
+}

@@ -1,0 +1,39 @@
+package patterns
+
+import "testing"
+
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	for rank := 0; rank < 32; rank++ {
+		for iter := 0; iter < 64; iter++ {
+			v := jitter(rank, iter)
+			if v < 0 || v >= 1 {
+				t.Fatalf("jitter(%d,%d) = %g out of [0,1)", rank, iter, v)
+			}
+			if v != jitter(rank, iter) {
+				t.Fatalf("jitter(%d,%d) not deterministic", rank, iter)
+			}
+		}
+	}
+	if jitter(1, 2) == jitter(2, 1) {
+		t.Error("jitter should not be symmetric in (rank, iter)")
+	}
+}
+
+func TestEffCells(t *testing.T) {
+	if got := effCells(1000, 0, 3, 7); got != 1000 {
+		t.Errorf("zero slack must keep full work, got %g", got)
+	}
+	var minSeen float64 = 1000
+	for iter := 0; iter < 100; iter++ {
+		got := effCells(1000, 0.4, 5, iter)
+		if got > 1000 || got < 600 {
+			t.Fatalf("effCells out of [600,1000]: %g", got)
+		}
+		if got < minSeen {
+			minSeen = got
+		}
+	}
+	if minSeen > 900 {
+		t.Errorf("slack 0.4 never shed more than 10%%: min %g", minSeen)
+	}
+}

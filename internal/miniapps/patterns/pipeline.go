@@ -1,0 +1,89 @@
+package patterns
+
+import (
+	"fmt"
+
+	"repro/internal/measure"
+	"repro/internal/simmpi"
+	"repro/internal/work"
+)
+
+// PipelineConfig shapes a linear software pipeline: rank 0 produces
+// items, every middle rank transforms and forwards them, the last rank
+// consumes.  Unlike the ring there is no periodic wrap and propagation
+// is one-directional: a delayed stage starves everything downstream
+// within one item and (through the bounded in-flight window) backs up
+// everything upstream — the classic pipeline stall.
+type PipelineConfig struct {
+	// Items is the number of work items pushed through the pipeline.
+	Items int
+	// Cells is the nominal per-item compute per stage.
+	Cells int
+	// Slack is the deterministic per-(rank, item) work shedding fraction.
+	Slack float64
+	// Bytes is the declared payload per hand-off.
+	Bytes int
+	// Window bounds the items a stage may run ahead of its successor's
+	// acknowledgements; 0 means unbounded (no backpressure).
+	Window int
+}
+
+// DefaultPipeline returns the 8-stage study configuration.
+func DefaultPipeline() PipelineConfig {
+	return PipelineConfig{Items: 24, Cells: 500_000, Slack: 0, Bytes: 64 << 10, Window: 2}
+}
+
+// Describe summarises the configuration for reports.
+func (c PipelineConfig) Describe() string {
+	return fmt.Sprintf("pipeline, %d items, %d cells/stage, window %d, slack %.0f%%",
+		c.Items, c.Cells, c.Window, c.Slack*100)
+}
+
+const (
+	tagPipeItem = 31 // payload moving down the pipeline
+	tagPipeAck  = 32 // acknowledgement moving back up
+)
+
+// RunPipeline executes one pipeline stage on the calling rank.
+func RunPipeline(r *measure.Rank, cfg PipelineConfig) Result {
+	me, n := r.Rank(), r.Size()
+	first, last := me == 0, me == n-1
+	payload := make([]float64, 8)
+	ack := []float64{0}
+	var acc float64
+	inflight := 0
+	for k := 0; k < cfg.Items; k++ {
+		r.Enter("iteration")
+		if !first {
+			m := r.Recv(me-1, tagPipeItem)
+			payload[0] = m.Data[0]
+		}
+		r.Region("compute", func() {
+			payload[0] = payload[0]*0.5 + float64((me+1)*(k+1))*1e-3
+			acc += payload[0]
+			r.Work(work.PerIter(costCell, effCells(cfg.Cells, cfg.Slack, me, k)))
+		})
+		if !last {
+			r.Send(me+1, tagPipeItem, payload, cfg.Bytes)
+			inflight++
+			// Backpressure: past the window, wait for the successor to
+			// acknowledge before producing more.
+			if cfg.Window > 0 && inflight >= cfg.Window {
+				r.Recv(me+1, tagPipeAck)
+				inflight--
+			}
+		}
+		if !first {
+			r.Send(me-1, tagPipeAck, ack, 64)
+		}
+		r.Exit()
+	}
+	// Drain the remaining acknowledgements so every send is consumed.
+	if !last {
+		for ; inflight > 0; inflight-- {
+			r.Recv(me+1, tagPipeAck)
+		}
+	}
+	sum := r.Allreduce([]float64{acc}, simmpi.OpSum)
+	return Result{Check: sum[0], Items: cfg.Items}
+}

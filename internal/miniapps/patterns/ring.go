@@ -1,0 +1,76 @@
+package patterns
+
+import (
+	"fmt"
+
+	"repro/internal/measure"
+	"repro/internal/simmpi"
+	"repro/internal/work"
+)
+
+// RingConfig shapes the 1-D halo-exchange stencil on a periodic ring —
+// the canonical medium of the Afzal one-off-delay experiments: each rank
+// computes on its stripe, then exchanges halos with both neighbours, so a
+// delay on one rank reaches its neighbours next iteration and travels
+// outward at one rank per iteration when Slack is zero.
+type RingConfig struct {
+	// Cells is the nominal per-rank cells per iteration.
+	Cells int
+	// Iters is the number of stencil iterations.
+	Iters int
+	// Slack sheds up to this fraction of a rank's per-iteration work
+	// (deterministically per rank and iteration); 0 = perfect lockstep.
+	Slack float64
+	// HaloBytes is the declared halo payload per neighbour exchange.
+	HaloBytes int
+}
+
+// DefaultRing returns the study configuration: ~0.5 virtual ms of
+// compute per iteration, 30 iterations, zero slack.  The halo stays
+// below the MPI eager threshold on purpose: rendezvous sends would
+// couple each rank to its neighbour's *arrival* as well as its data,
+// letting a delay hop two ranks per iteration instead of Afzal's one.
+func DefaultRing() RingConfig {
+	return RingConfig{Cells: 500_000, Iters: 30, Slack: 0, HaloBytes: 8 << 10}
+}
+
+// Describe summarises the configuration for reports.
+func (c RingConfig) Describe() string {
+	return fmt.Sprintf("halo ring, %d cells/rank, %d iters, slack %.0f%%", c.Cells, c.Iters, c.Slack*100)
+}
+
+const (
+	tagRingCW  = 11 // payload travelling clockwise (to rank+1)
+	tagRingCCW = 12 // payload travelling counter-clockwise (to rank-1)
+)
+
+// RunRing executes the ring stencil on the calling rank.
+func RunRing(r *measure.Rank, cfg RingConfig) Result {
+	me, n := r.Rank(), r.Size()
+	left, right := (me-1+n)%n, (me+1)%n
+	// The real arithmetic is a token stripe; the declared costs carry the
+	// timing.  Its values depend only on (rank, iter), keeping Check
+	// identical across modes, slack settings and fault plans.
+	stripe := make([]float64, 64)
+	send := make([]float64, 8)
+	var acc float64
+	for k := 0; k < cfg.Iters; k++ {
+		r.Enter("iteration")
+		r.Region("compute", func() {
+			for i := range stripe {
+				stripe[i] = stripe[i]*0.5 + float64((me+1)*(k+1)+i)*1e-3
+			}
+			r.Work(work.PerIter(costCell, effCells(cfg.Cells, cfg.Slack, me, k)))
+		})
+		r.Region("halo", func() {
+			send[0] = stripe[0]
+			fromLeft := r.Sendrecv(right, tagRingCW, send, cfg.HaloBytes, left, tagRingCW)
+			send[0] = stripe[len(stripe)-1]
+			fromRight := r.Sendrecv(left, tagRingCCW, send, cfg.HaloBytes, right, tagRingCCW)
+			acc += fromLeft.Data[0] + fromRight.Data[0]
+		})
+		r.Exit()
+	}
+	sum := r.Allreduce([]float64{acc + stripe[0]}, simmpi.OpSum)
+	return Result{Check: sum[0], Items: cfg.Iters}
+}

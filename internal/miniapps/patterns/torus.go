@@ -1,0 +1,87 @@
+package patterns
+
+import (
+	"fmt"
+
+	"repro/internal/measure"
+	"repro/internal/simmpi"
+	"repro/internal/work"
+)
+
+// TorusConfig shapes the 2-D halo exchange on a Px x Py periodic torus.
+// Against the ring it doubles the propagation dimension: a delay front
+// spreads as a diamond, reaching rank (x,y) after |dx|+|dy| iterations,
+// so decay has quadratically more neighbours to bleed into.
+type TorusConfig struct {
+	// Px, Py are the process-grid extents; the spec must run Px*Py ranks.
+	Px, Py int
+	// Cells is the nominal per-rank cells per iteration.
+	Cells int
+	// Iters is the number of stencil iterations.
+	Iters int
+	// Slack is the deterministic per-(rank, iteration) work shedding
+	// fraction, as in RingConfig.
+	Slack float64
+	// HaloBytes is the declared payload per neighbour per iteration.
+	HaloBytes int
+}
+
+// DefaultTorus returns the 4x4 study configuration.
+func DefaultTorus() TorusConfig {
+	return TorusConfig{Px: 4, Py: 4, Cells: 500_000, Iters: 30, Slack: 0, HaloBytes: 16 << 10}
+}
+
+// Describe summarises the configuration for reports.
+func (c TorusConfig) Describe() string {
+	return fmt.Sprintf("%dx%d torus, %d cells/rank, %d iters, slack %.0f%%",
+		c.Px, c.Py, c.Cells, c.Iters, c.Slack*100)
+}
+
+const (
+	tagTorusXP = 21 // +x neighbour
+	tagTorusXM = 22 // -x neighbour
+	tagTorusYP = 23 // +y neighbour
+	tagTorusYM = 24 // -y neighbour
+)
+
+// RunTorus executes the torus stencil on the calling rank.
+func RunTorus(r *measure.Rank, cfg TorusConfig) Result {
+	me, n := r.Rank(), r.Size()
+	if n != cfg.Px*cfg.Py {
+		panic(fmt.Sprintf("patterns: torus %dx%d needs %d ranks, got %d", cfg.Px, cfg.Py, cfg.Px*cfg.Py, n))
+	}
+	x, y := me%cfg.Px, me/cfg.Px
+	at := func(px, py int) int {
+		return ((py+cfg.Py)%cfg.Py)*cfg.Px + (px+cfg.Px)%cfg.Px
+	}
+	xp, xm, yp, ym := at(x+1, y), at(x-1, y), at(x, y+1), at(x, y-1)
+	send := make([]float64, 8)
+	var acc, cell float64
+	for k := 0; k < cfg.Iters; k++ {
+		r.Enter("iteration")
+		r.Region("compute", func() {
+			cell = cell*0.5 + float64((me+1)*(k+1))*1e-3
+			r.Work(work.PerIter(costCell, effCells(cfg.Cells, cfg.Slack, me, k)))
+		})
+		r.Region("halo", func() {
+			// Messages travel tagged by the direction they move in, so a
+			// rank receives tag XP from its -x neighbour, and so on.
+			reqs := []*simmpi.Request{
+				r.Irecv(xm, tagTorusXP), r.Irecv(xp, tagTorusXM),
+				r.Irecv(ym, tagTorusYP), r.Irecv(yp, tagTorusYM),
+			}
+			send[0] = cell
+			r.Isend(xp, tagTorusXP, send, cfg.HaloBytes)
+			r.Isend(xm, tagTorusXM, send, cfg.HaloBytes)
+			r.Isend(yp, tagTorusYP, send, cfg.HaloBytes)
+			r.Isend(ym, tagTorusYM, send, cfg.HaloBytes)
+			r.Waitall(reqs)
+			for _, q := range reqs {
+				acc += q.Msg().Data[0]
+			}
+		})
+		r.Exit()
+	}
+	sum := r.Allreduce([]float64{acc + cell}, simmpi.OpSum)
+	return Result{Check: sum[0], Items: cfg.Iters}
+}

@@ -70,6 +70,12 @@ func tickMicros(clock string) float64 {
 	return 1 // logical ticks: one tick = one microsecond
 }
 
+// TickSeconds returns the virtual seconds one trace tick of the given
+// clock represents on the exported timeline — the converter overlay
+// producers (ltviz's delay-front marks) use to place tick-denominated
+// analysis results onto the timeline's seconds axis.
+func TickSeconds(clock string) float64 { return tickMicros(clock) / 1e6 }
+
 // flowKey identifies one ordered point-to-point channel; matching is
 // FIFO per key, the non-overtaking order MPI guarantees.
 type flowKey struct {

@@ -1,0 +1,334 @@
+package propagation
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// buildRun constructs a synthetic bulk-synchronous trace: ranks ranks,
+// iters iterations, each iteration comp ticks of computation followed by
+// wait ticks inside an MPI-wait region.  shift(rank, iter) displaces every
+// event of that rank's iteration by the given ticks — the knob the tests
+// use to paint delay fronts onto the faulted copy.
+func buildRun(clock string, ranks, iters int, comp, wait uint64, shift func(rank, iter int) uint64) *trace.Trace {
+	tr := trace.New(clock)
+	itR := tr.Region("iteration", trace.RoleUser)
+	cR := tr.Region("comp", trace.RoleUser)
+	wR := tr.Region("wait", trace.RoleMPIWait)
+	period := comp + wait
+	for r := 0; r < ranks; r++ {
+		l := tr.AddLocation(r, 0)
+		for k := 0; k < iters; k++ {
+			t0 := uint64(k)*period + shift(r, k)
+			tr.Record(l, trace.Event{Kind: trace.EvEnter, Time: t0, Region: itR})
+			tr.Record(l, trace.Event{Kind: trace.EvEnter, Time: t0, Region: cR})
+			tr.Record(l, trace.Event{Kind: trace.EvExit, Time: t0 + comp, Region: cR})
+			tr.Record(l, trace.Event{Kind: trace.EvEnter, Time: t0 + comp, Region: wR})
+			tr.Record(l, trace.Event{Kind: trace.EvExit, Time: t0 + period, Region: wR})
+			tr.Record(l, trace.Event{Kind: trace.EvExit, Time: t0 + period, Region: itR})
+		}
+	}
+	return tr
+}
+
+func noShift(int, int) uint64 { return 0 }
+
+func ringDistFrom0(r, n int) int {
+	if n-r < r {
+		return n - r
+	}
+	return r
+}
+
+func TestAnalyzeIdenticalTracesSeesNothing(t *testing.T) {
+	bl := buildRun("lt_stmt", 4, 6, 800, 200, noShift)
+	fl := buildRun("lt_stmt", 4, 6, 800, 200, noShift)
+	a, err := Analyze(bl, fl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Observed {
+		t.Error("identical traces must not observe a fault")
+	}
+	if a.Reached != 0 || a.InjectRank != -1 || a.InjectTick != -1 {
+		t.Errorf("no front expected, got reached=%d inject=(%d,%g)", a.Reached, a.InjectRank, a.InjectTick)
+	}
+	if a.Unaffected != 4 {
+		t.Errorf("want 4 unaffected ranks, got %d", a.Unaffected)
+	}
+	for _, rd := range a.Ranks {
+		if rd.Class != ClassUnaffected || rd.Peak != 0 || rd.Misaligned != 0 {
+			t.Errorf("rank %d: %+v", rd.Rank, rd)
+		}
+	}
+}
+
+func TestAnalyzeRingFront(t *testing.T) {
+	const (
+		ranks = 6
+		iters = 10
+		comp  = 800
+		wait  = 200
+		D     = 400 // injected delay, ticks
+	)
+	shift := func(r, k int) uint64 {
+		if k >= 2+ringDistFrom0(r, ranks) {
+			return D
+		}
+		return 0
+	}
+	bl := buildRun("tsc", ranks, iters, comp, wait, noShift)
+	fl := buildRun("tsc", ranks, iters, comp, wait, shift)
+	a, err := Analyze(bl, fl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Observed {
+		t.Fatal("front not observed")
+	}
+	if a.ThresholdTicks != D/2 {
+		t.Errorf("auto threshold: want %d, got %g", D/2, a.ThresholdTicks)
+	}
+	if a.InjectRank != 0 || a.InjectTick != 2*(comp+wait) {
+		t.Errorf("injection site: want rank 0 at tick %d, got rank %d at %g",
+			2*(comp+wait), a.InjectRank, a.InjectTick)
+	}
+	if a.Reached != ranks || a.NonDecay != ranks {
+		t.Errorf("want all %d ranks reached non-decaying, got reached=%d nondecay=%d",
+			ranks, a.Reached, a.NonDecay)
+	}
+	for _, rd := range a.Ranks {
+		wantIter := 2 + ringDistFrom0(rd.Rank, ranks)
+		if rd.FrontIter != wantIter {
+			t.Errorf("rank %d: front iter want %d, got %d", rd.Rank, wantIter, rd.FrontIter)
+		}
+		if want := float64(wantIter * (comp + wait)); rd.FrontTime != want {
+			t.Errorf("rank %d: front time want %g, got %g", rd.Rank, want, rd.FrontTime)
+		}
+		if rd.SlackTicks != iters*wait {
+			t.Errorf("rank %d: slack want %d, got %g", rd.Rank, iters*wait, rd.SlackTicks)
+		}
+		if want := float64(wait) / float64(comp+wait); math.Abs(rd.SlackFrac-want) > 1e-12 {
+			t.Errorf("rank %d: slack frac want %g, got %g", rd.Rank, want, rd.SlackFrac)
+		}
+	}
+	// The shift travels one ring hop per iteration: the Afzal speed.
+	if math.Abs(a.FrontSpeedRanksPerIter-1) > 1e-9 {
+		t.Errorf("front speed: want 1 rank/iter, got %g", a.FrontSpeedRanksPerIter)
+	}
+	if want := 1.0 / (comp + wait); math.Abs(a.FrontSpeedRanksPerTick-want) > 1e-15 {
+		t.Errorf("front speed: want %g ranks/tick, got %g", want, a.FrontSpeedRanksPerTick)
+	}
+}
+
+func TestAnalyzeClassification(t *testing.T) {
+	// Rank 0: sustained delay (non-decaying).  Rank 1: delay that decays
+	// to zero.  Rank 2: sub-threshold ripple (absorbed).  Rank 3: clean.
+	shift := func(r, k int) uint64 {
+		switch r {
+		case 0:
+			if k >= 2 {
+				return 100
+			}
+		case 1:
+			switch k {
+			case 3:
+				return 100
+			case 4:
+				return 40
+			case 5:
+				return 10
+			}
+		case 2:
+			if k == 4 {
+				return 30
+			}
+		}
+		return 0
+	}
+	bl := buildRun("tsc", 4, 8, 800, 200, noShift)
+	fl := buildRun("tsc", 4, 8, 800, 200, shift)
+	a, err := Analyze(bl, fl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Class{ClassNonDecaying, ClassDecaying, ClassAbsorbed, ClassUnaffected}
+	for r, cls := range want {
+		if a.Ranks[r].Class != cls {
+			t.Errorf("rank %d: want %s, got %s", r, cls, a.Ranks[r].Class)
+		}
+	}
+	if a.NonDecay != 1 || a.Decaying != 1 || a.Absorbed != 1 || a.Unaffected != 1 {
+		t.Errorf("class counts: %+v", a)
+	}
+	if a.Reached != 2 {
+		t.Errorf("reached: want 2 (non-decaying + decaying), got %d", a.Reached)
+	}
+}
+
+func TestAnalyzeDesync(t *testing.T) {
+	const P = 1000.0
+	// Rank 0 falls 100 ticks behind at iteration 2 and never recovers:
+	// permanent desynchronization.
+	perm := func(r, k int) uint64 {
+		if r == 0 && k >= 2 {
+			return 100
+		}
+		return 0
+	}
+	bl := buildRun("tsc", 4, 10, 800, 200, noShift)
+	a, err := Analyze(bl, buildRun("tsc", 4, 10, 800, 200, perm), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := a.Desync
+	if d.Iterations != 10 {
+		t.Fatalf("iterations: want 10, got %d", d.Iterations)
+	}
+	if math.Abs(d.MeanPeriod-P) > P*0.02 {
+		t.Errorf("mean period: want ~%g, got %g", P, d.MeanPeriod)
+	}
+	if d.PreSpread != 0 {
+		t.Errorf("pre-fault spread: want 0, got %g", d.PreSpread)
+	}
+	if d.PeakSpread < 0.08 || d.FinalSpread < 0.08 {
+		t.Errorf("spread never rose: peak %g final %g", d.PeakSpread, d.FinalSpread)
+	}
+	if d.SettleIter != -1 || d.SettleTicks != -1 {
+		t.Errorf("permanent desync must not settle, got iter %d ticks %g", d.SettleIter, d.SettleTicks)
+	}
+	if len(d.FinalPhase) != 4 || d.FinalPhase[0] <= 0 {
+		t.Errorf("rank 0 should lag (positive phase): %v", d.FinalPhase)
+	}
+
+	// Same kick, but rank 0 catches back up at iteration 4: settles.
+	recov := func(r, k int) uint64 {
+		if r == 0 && (k == 2 || k == 3) {
+			return 100
+		}
+		return 0
+	}
+	a, err = Analyze(bl, buildRun("tsc", 4, 10, 800, 200, recov), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d = a.Desync
+	if d.SettleIter != 4 {
+		t.Errorf("settle iter: want 4, got %d", d.SettleIter)
+	}
+	if d.SettleTicks <= 0 {
+		t.Errorf("settle ticks: want positive, got %g", d.SettleTicks)
+	}
+	if d.FinalSpread != 0 {
+		t.Errorf("final spread after resync: want 0, got %g", d.FinalSpread)
+	}
+}
+
+func TestAnalyzeMisalignment(t *testing.T) {
+	bl := buildRun("tsc", 2, 6, 800, 200, noShift)
+	fl := buildRun("tsc", 2, 6, 800, 200, noShift)
+	// Corrupt rank 1's stream halfway: a different region enter, as if
+	// the fault flipped a timing-dependent matching choice.
+	ev := &fl.Locs[1].Events
+	cut := len(*ev) / 2
+	(*ev)[cut].Region++
+	a, err := Analyze(bl, fl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ranks[0].Misaligned != 0 {
+		t.Errorf("rank 0 should align fully, got %d misaligned", a.Ranks[0].Misaligned)
+	}
+	if a.Ranks[1].AlignedEvents != cut || a.Ranks[1].Misaligned != len(*ev)-cut {
+		t.Errorf("rank 1: want %d aligned %d misaligned, got %d/%d",
+			cut, len(*ev)-cut, a.Ranks[1].AlignedEvents, a.Ranks[1].Misaligned)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	bl := buildRun("tsc", 2, 2, 800, 200, noShift)
+	if _, err := Analyze(nil, bl, Options{}); err == nil {
+		t.Error("nil baseline accepted")
+	}
+	if _, err := Analyze(bl, buildRun("lt_1", 2, 2, 800, 200, noShift), Options{}); err == nil || !strings.Contains(err.Error(), "clock mismatch") {
+		t.Errorf("clock mismatch not rejected: %v", err)
+	}
+	if _, err := Analyze(bl, buildRun("tsc", 3, 2, 800, 200, noShift), Options{}); err == nil || !strings.Contains(err.Error(), "rank sets differ") {
+		t.Errorf("rank-set mismatch not rejected: %v", err)
+	}
+}
+
+func TestMatchFront(t *testing.T) {
+	front := func(r, k int) uint64 {
+		if k >= 2+r {
+			return 400
+		}
+		return 0
+	}
+	bl := buildRun("tsc", 4, 8, 800, 200, noShift)
+	ref, err := Analyze(bl, buildRun("tsc", 4, 8, 800, 200, front), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blL := buildRun("lt_1", 4, 8, 800, 200, noShift)
+	blind, err := Analyze(blL, buildRun("lt_1", 4, 8, 800, 200, noShift), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if fm := MatchFront(ref, ref); !fm.BothObserved || !fm.ReachedEqual || !fm.FrontIterEqual || fm.Summary() != "matches" {
+		t.Errorf("self-match: %+v %q", fm, fm.Summary())
+	}
+	fm := MatchFront(blind, ref)
+	if fm.BothObserved || fm.ReachedEqual {
+		t.Errorf("blind clock vs tsc: %+v", fm)
+	}
+	if fm.Summary() != "sees nothing" {
+		t.Errorf("summary: want %q, got %q", "sees nothing", fm.Summary())
+	}
+	if fm := MatchFront(blind, blind); fm.BothObserved || fm.Summary() != "no front on either clock" {
+		t.Errorf("blind self-match: %+v %q", fm, fm.Summary())
+	}
+	if MatchFront(nil, ref) != nil {
+		t.Error("nil analysis should yield nil match")
+	}
+	var nilFM *FrontMatch
+	if nilFM.Summary() != "-" {
+		t.Error("nil FrontMatch summary")
+	}
+}
+
+func TestBucketDownsamples(t *testing.T) {
+	const n = 1000
+	times := make([]float64, n)
+	deltas := make([]float64, n)
+	for i := range times {
+		times[i] = float64(i)
+		deltas[i] = float64(i % 97)
+	}
+	// The lone spike must survive peak-keeping downsampling.
+	deltas[513] = 1e6
+	out := bucket(times, deltas, 64)
+	if len(out) > 64 {
+		t.Fatalf("bucket returned %d points, want <= 64", len(out))
+	}
+	var peak float64
+	for _, p := range out {
+		if p.Delay > peak {
+			peak = p.Delay
+		}
+	}
+	if peak != 1e6 {
+		t.Errorf("spike lost in downsampling: peak %g", peak)
+	}
+	// Short series pass through untouched.
+	if got := bucket(times[:10], deltas[:10], 64); len(got) != 10 {
+		t.Errorf("short series: want 10 points, got %d", len(got))
+	}
+	if bucket(nil, nil, 64) != nil {
+		t.Error("empty series should yield nil")
+	}
+}

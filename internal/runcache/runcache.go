@@ -87,6 +87,18 @@ type Entry struct {
 	FoM     float64
 	Trace   *trace.Trace  // nil for reference runs
 	Profile *cube.Profile // nil unless analyzed
+	// Applied is the run's applied-fault log (nil without a fault plan).
+	Applied []AppliedFault
+}
+
+// AppliedFault mirrors faults.AppliedFault field for field (runcache
+// cannot import internal/faults for the same cycle reason as Entry).
+type AppliedFault struct {
+	Kind       string
+	Rank, Core int
+	Resource   string
+	At         float64
+	Magnitude  float64
 }
 
 // Cache is a content-addressed store rooted at one directory.  Entries
@@ -176,12 +188,17 @@ func (c *Cache) Put(key Key, e *Entry) error {
 //	wall f64, fom f64
 //	phase count, then per phase (sorted by name): name, value f64
 //	check count, then per check: value f64
+//	applied-fault count, then per event: kind string, rank varint,
+//	  core varint, resource string, at f64, magnitude f64   (version 2+)
 //	flags byte (bit 0: trace present, bit 1: profile present)
 //	if trace:   uvarint byte length + LTRC stream (trace.Write)
 //	if profile: uvarint byte length + cube JSON (cube/Profile.Write)
+//
+// Version history: 2 added the applied-fault log.  Version-1 entries
+// decode as a miss (by design: a pre-log binary cannot know what fired).
 const (
 	entryMagic   = "LTRR"
-	entryVersion = 1
+	entryVersion = 2
 )
 
 // Sanity caps, mirroring internal/trace's reader hardening: a corrupted
@@ -189,6 +206,7 @@ const (
 const (
 	maxPhases    = 1 << 16
 	maxChecks    = 1 << 24
+	maxApplied   = 1 << 24
 	maxBlobBytes = 1 << 30
 )
 
@@ -225,6 +243,19 @@ func encodeEntry(w *bytes.Buffer, e *Entry) error {
 	putU(uint64(len(e.Checks)))
 	for _, v := range e.Checks {
 		putF(v)
+	}
+	putI := func(v int64) {
+		n := binary.PutVarint(vb[:], v)
+		w.Write(vb[:n])
+	}
+	putU(uint64(len(e.Applied)))
+	for _, a := range e.Applied {
+		putS(a.Kind)
+		putI(int64(a.Rank))
+		putI(int64(a.Core))
+		putS(a.Resource)
+		putF(a.At)
+		putF(a.Magnitude)
 	}
 	var flags byte
 	if e.Trace != nil {
@@ -331,6 +362,41 @@ func decodeEntry(r *bufio.Reader) (*Entry, error) {
 	for i := range e.Checks {
 		if e.Checks[i], err = getF(); err != nil {
 			return nil, err
+		}
+	}
+	getI := func() (int64, error) { return binary.ReadVarint(r) }
+	napplied, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	if napplied > maxApplied {
+		return nil, fmt.Errorf("runcache: implausible applied-fault count %d", napplied)
+	}
+	if napplied > 0 {
+		e.Applied = make([]AppliedFault, napplied)
+		for i := range e.Applied {
+			a := &e.Applied[i]
+			if a.Kind, err = getS(); err != nil {
+				return nil, err
+			}
+			var v int64
+			if v, err = getI(); err != nil {
+				return nil, err
+			}
+			a.Rank = int(v)
+			if v, err = getI(); err != nil {
+				return nil, err
+			}
+			a.Core = int(v)
+			if a.Resource, err = getS(); err != nil {
+				return nil, err
+			}
+			if a.At, err = getF(); err != nil {
+				return nil, err
+			}
+			if a.Magnitude, err = getF(); err != nil {
+				return nil, err
+			}
 		}
 	}
 	flags, err := r.ReadByte()

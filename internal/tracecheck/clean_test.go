@@ -52,6 +52,39 @@ func TestCleanMiniApps(t *testing.T) {
 	}
 }
 
+// TestCleanPatterns runs the same invariant suite over every
+// communication-pattern workload (the propagation-study media) in every
+// timer mode: the patterns exercise message shapes the paper apps do not
+// (Sendrecv rings, bounded-window backpressure, AnyTag task farms), and
+// the PDES work will lean on these traces as oracles.
+func TestCleanPatterns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full quick simulations")
+	}
+	modes := append([]core.Mode{}, core.LogicalModes()...)
+	modes = append(modes, core.ModeTSC)
+	np := noise.Params{}
+	for _, spec := range experiment.PatternSpecs(experiment.Options{Quick: true}) {
+		for _, mode := range modes {
+			t.Run(fmt.Sprintf("%s/%s", spec.Name, mode), func(t *testing.T) {
+				res, err := experiment.Run(spec, mode, 1, np, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r := tracecheck.Verify(res.Trace, tracecheck.Options{})
+				if !r.OK() {
+					var sb strings.Builder
+					r.Render(&sb, 10)
+					t.Fatalf("invariant violations:\n%s", sb.String())
+				}
+				if r.Edges == 0 {
+					t.Fatalf("no synchronisation edges reconstructed for %s", spec.Name)
+				}
+			})
+		}
+	}
+}
+
 // TestCleanWithNoise repeats the check for one hybrid configuration with
 // the noise model on: noise perturbs virtual timing and therefore message
 // matching order, but must never break causal consistency.
