@@ -36,6 +36,8 @@ func main() {
 	noNoise := flag.Bool("no-noise", false, "disable all noise sources")
 	faultSpec := flag.String("faults", "",
 		`deterministic fault plan, e.g. "oneoff:rank=2,at=0.01,delay=0.005;straggler:rank=0,factor=1.5"`)
+	kernelPar := flag.Int("kernel-par", 1,
+		"kernel worker goroutines for the conservative parallel event loop (1 = sequential; results are byte-identical)")
 	traceOut := flag.String("trace", "", "write the binary trace here")
 	profOut := flag.String("profile", "", "write the analysis profile (JSON) here")
 	list := flag.Bool("list", false, "list configurations and exit")
@@ -75,7 +77,7 @@ func main() {
 	}
 	res, err := experiment.RunWithOptions(spec, experiment.RunOptions{
 		Cfg: cfg, Seed: *seed, Noise: np, Faults: plan,
-		Analyze: *profOut != "" || !*quiet,
+		Analyze: *profOut != "" || !*quiet, KernelWorkers: *kernelPar,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,46 @@
+package experiment
+
+import (
+	"repro/internal/machine"
+	"repro/internal/simmpi"
+	"repro/internal/vtime"
+)
+
+// buildPartition derives the lookahead-domain partition for a run: the
+// spec's communication topology (conservative all-to-all when the spec
+// declares none) under the placement's co-location constraints.
+//
+// sharedWS declares that the run mutates NUMA-domain working sets from
+// actor turns throughout — today that is the measurement layer's trace
+// buffers, which grow every few events.  Ranks whose threads touch a
+// common NUMA domain must then share a lookahead domain: the growth
+// changes the miss ratio co-located ranks read mid-turn, and the float
+// accumulation order is part of the byte-identity contract.  Without
+// sharedWS each rank gets its own domain; the one remaining turn-time
+// writer, Rank.SpreadWorkingSet, pins shared sharers dynamically via
+// World.PinRankMemory.
+func buildPartition(spec Spec, m *machine.Machine, place machine.Placement, sharedWS bool) (vtime.Partition, error) {
+	var top vtime.Topology
+	if spec.Topology != nil {
+		top = spec.Topology(m.Cfg.IntraNodeLatency, m.Cfg.InterNodeLatency)
+	} else {
+		top = simmpi.AllToAllTopology(place.Ranks, m.Cfg.IntraNodeLatency)
+	}
+	var colocate [][2]int
+	if sharedWS {
+		owner := make(map[int]int)
+		for r := 0; r < place.Ranks; r++ {
+			for t := 0; t < place.ThreadsPerRank; t++ {
+				d := m.DomainOf(place.Core(r, t))
+				if o, ok := owner[d]; ok {
+					if o != r {
+						colocate = append(colocate, [2]int{o, r})
+					}
+				} else {
+					owner[d] = r
+				}
+			}
+		}
+	}
+	return vtime.PartitionTopology(top, colocate)
+}

@@ -41,6 +41,10 @@ type PropagationOptions struct {
 	// Metrics and Progress are the usual observe-only hooks.
 	Metrics  *obs.Registry
 	Progress *obs.Progress
+	// KernelWorkers > 1 runs each job on the kernel's conservative
+	// parallel scheduler (see RunOptions.KernelWorkers); byte-identical
+	// for every value.
+	KernelWorkers int
 
 	modesDefaulted bool
 }
@@ -75,12 +79,12 @@ type ModePropagation struct {
 // faulted run of the same (spec, seed) diffed through the propagation
 // analyzer.
 type PropagationStudy struct {
-	Spec    string                `json:"spec"`
-	Ranks   int                   `json:"ranks"`
-	Plan    string                `json:"plan"`
-	Seed    int64                 `json:"seed"`
-	Modes   []ModePropagation     `json:"modes"`
-	Dropped []DroppedRep          `json:"dropped,omitempty"`
+	Spec    string            `json:"spec"`
+	Ranks   int               `json:"ranks"`
+	Plan    string            `json:"plan"`
+	Seed    int64             `json:"seed"`
+	Modes   []ModePropagation `json:"modes"`
+	Dropped []DroppedRep      `json:"dropped,omitempty"`
 	spec    Spec
 	plan    faults.Plan
 }
@@ -189,6 +193,7 @@ func propagationJobs(spec Spec, opts PropagationOptions, plan faults.Plan) []Job
 			o := RunOptions{
 				Cfg: &cfg, Seed: opts.Seed, Noise: opts.Noise,
 				Watchdog: opts.Watchdog, Metrics: opts.Metrics,
+				KernelWorkers: opts.KernelWorkers,
 			}
 			if withFaults {
 				p := plan

@@ -1,0 +1,77 @@
+package simmpi
+
+import "repro/internal/vtime"
+
+// Topology builders for the kernel's conservative parallel scheduler
+// (vtime.PartitionTopology).  Each returns the communication structure of
+// a standard pattern over n ranks with the given per-link lookahead —
+// conventionally the machine's minimum message latency.  Workloads whose
+// communication is dominated by collectives should use AllToAllTopology,
+// the conservative fallback that assumes every pair of ranks talks.
+
+// RingTopology is the unidirectional halo ring: rank i talks to
+// (i+1) mod n.
+func RingTopology(n int, lookahead float64) vtime.Topology {
+	top := vtime.Topology{N: n}
+	if n == 2 {
+		top.Edges = []vtime.Edge{{A: 0, B: 1, Lookahead: lookahead}}
+		return top
+	}
+	for i := 0; i < n; i++ {
+		top.Edges = append(top.Edges, vtime.Edge{A: i, B: (i + 1) % n, Lookahead: lookahead})
+	}
+	return top
+}
+
+// TorusTopology is the 2-D periodic halo exchange on a rows x cols grid
+// (rank = r*cols + c), with wraparound links in both dimensions.
+func TorusTopology(rows, cols int, lookahead float64) vtime.Topology {
+	top := vtime.Topology{N: rows * cols}
+	seen := make(map[[2]int]bool)
+	add := func(a, b int) {
+		if a == b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]int{a, b}] {
+			return
+		}
+		seen[[2]int{a, b}] = true
+		top.Edges = append(top.Edges, vtime.Edge{A: a, B: b, Lookahead: lookahead})
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			me := r*cols + c
+			add(me, r*cols+(c+1)%cols)
+			add(me, ((r+1)%rows)*cols+c)
+		}
+	}
+	return top
+}
+
+// PipelineTopology is the linear chain: stage i feeds stage i+1.
+func PipelineTopology(n int, lookahead float64) vtime.Topology {
+	top := vtime.Topology{N: n}
+	for i := 0; i+1 < n; i++ {
+		top.Edges = append(top.Edges, vtime.Edge{A: i, B: i + 1, Lookahead: lookahead})
+	}
+	return top
+}
+
+// StarTopology is the master-worker farm: rank 0 talks to every other
+// rank.
+func StarTopology(n int, lookahead float64) vtime.Topology {
+	top := vtime.Topology{N: n}
+	for i := 1; i < n; i++ {
+		top.Edges = append(top.Edges, vtime.Edge{A: 0, B: i, Lookahead: lookahead})
+	}
+	return top
+}
+
+// AllToAllTopology assumes every pair of ranks communicates — the
+// conservative fallback for collective-dominated workloads.
+func AllToAllTopology(n int, lookahead float64) vtime.Topology {
+	return vtime.Topology{N: n, AllToAll: true, AllToAllLookahead: lookahead}
+}

@@ -143,7 +143,7 @@ func (t *Team) workerLoop(a *vtime.Actor, tid int) {
 		t.job(&Thread{ID: tid, Team: t, Loc: t.locs[tid]})
 		t.joined++
 		if t.joined == t.size-1 {
-			t.joinCond.Signal()
+			t.joinCond.SignalFrom(a)
 		}
 	}
 }
@@ -170,7 +170,7 @@ func (t *Team) Parallel(fn func(*Thread)) {
 	t.job = fn
 	t.regionGen++
 	master.Compute(t.costs.forkCost(t.size))
-	t.workCond.Broadcast()
+	t.workCond.BroadcastFrom(master)
 	fn(&Thread{ID: 0, Team: t, Loc: t.locs[0]})
 	for t.joined < t.size-1 {
 		t.joinCond.Wait(master)
@@ -188,7 +188,7 @@ func (t *Team) Close() {
 		panic("simomp: Close inside parallel region")
 	}
 	t.quit = true
-	t.workCond.Broadcast()
+	t.workCond.BroadcastFrom(t.locs[0].Actor)
 }
 
 // StaticChunk partitions n iterations over the team statically (OpenMP
@@ -212,7 +212,7 @@ func (th *Thread) Barrier() (release float64) {
 	if t.barCount == t.size {
 		t.barCount = 0
 		t.barGen++
-		t.barCond.Broadcast()
+		t.barCond.BroadcastFrom(a)
 		return a.Now()
 	}
 	for t.barGen == gen {
@@ -231,7 +231,7 @@ func (th *Thread) Critical(fn func()) {
 	t.critBusy = true
 	fn()
 	t.critBusy = false
-	t.critCond.Signal()
+	t.critCond.SignalFrom(a)
 }
 
 // Single executes fn on the first thread that reaches this single

@@ -1,0 +1,146 @@
+package vtime
+
+import (
+	"fmt"
+	"math"
+)
+
+// Edge is one communication link between two partitionable units
+// (conventionally MPI ranks), annotated with its lookahead: the minimum
+// virtual time a message needs to cross the link.  Lookahead is what a
+// conservative PDES scheduler is allowed to exploit — a domain can never
+// be affected by a neighbour sooner than the smallest lookahead on any
+// edge crossing the domain boundary.
+type Edge struct {
+	A, B      int
+	Lookahead float64
+}
+
+// Topology describes the communication structure of a workload over N
+// units.  Point-to-point patterns (rings, tori, pipelines) list their
+// links explicitly; workloads dominated by collectives set AllToAll,
+// the conservative fallback in which every pair of units is assumed to
+// communicate with AllToAllLookahead.
+type Topology struct {
+	N     int
+	Edges []Edge
+	// AllToAll declares an implicit edge between every pair of units, each
+	// with AllToAllLookahead.  Explicit Edges may still be listed (they
+	// tighten nothing but are validated all the same).
+	AllToAll          bool
+	AllToAllLookahead float64
+}
+
+// Partition assigns every unit to exactly one lookahead domain.  Units
+// joined by a co-location constraint (shared mutable simulation state,
+// e.g. ranks on one NUMA domain sharing a working-set accumulator) are
+// always in the same domain; communication edges never merge domains —
+// they only bound how far a domain could safely run ahead.
+type Partition struct {
+	// Domain maps unit -> domain index; domain indices are dense, start at
+	// 0, and are ordered by each domain's lowest unit index.
+	Domain     []int
+	NumDomains int
+	// CrossEdges counts topology edges (explicit ones; all-to-all adds
+	// N*(N-1)/2 implicit pairs) that cross a domain boundary.
+	CrossEdges int
+	// MinLookahead is the smallest lookahead on any boundary-crossing
+	// edge: the width of the safe window a fully asynchronous conservative
+	// protocol could grant each domain.  +Inf when nothing crosses.
+	MinLookahead float64
+}
+
+// PartitionTopology builds the lookahead-domain partition for a topology
+// under the given co-location constraints (pairs of units that must share
+// a domain).  It rejects malformed input — non-positive N, units out of
+// range, negative or NaN lookahead — rather than clamping, so a bad
+// topology hint fails loudly instead of silently serialising or (worse)
+// under-synchronising the parallel kernel.
+func PartitionTopology(top Topology, colocate [][2]int) (Partition, error) {
+	if top.N <= 0 {
+		return Partition{}, fmt.Errorf("vtime: partition: topology has %d units", top.N)
+	}
+	check := func(kind string, la float64) error {
+		if math.IsNaN(la) || la < 0 {
+			return fmt.Errorf("vtime: partition: %s lookahead %g is negative or NaN", kind, la)
+		}
+		return nil
+	}
+	for _, e := range top.Edges {
+		if e.A < 0 || e.A >= top.N || e.B < 0 || e.B >= top.N {
+			return Partition{}, fmt.Errorf("vtime: partition: edge (%d,%d) outside %d units", e.A, e.B, top.N)
+		}
+		if err := check(fmt.Sprintf("edge (%d,%d)", e.A, e.B), e.Lookahead); err != nil {
+			return Partition{}, err
+		}
+	}
+	if top.AllToAll && top.N > 1 {
+		if err := check("all-to-all", top.AllToAllLookahead); err != nil {
+			return Partition{}, err
+		}
+	}
+
+	// Union-find over the co-location constraints.
+	parent := make([]int, top.N)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, c := range colocate {
+		if c[0] < 0 || c[0] >= top.N || c[1] < 0 || c[1] >= top.N {
+			return Partition{}, fmt.Errorf("vtime: partition: co-location pair (%d,%d) outside %d units", c[0], c[1], top.N)
+		}
+		ra, rb := find(c[0]), find(c[1])
+		if ra != rb {
+			// Deterministic union: the smaller root wins, so domain
+			// numbering depends only on the constraint set, not its order.
+			if ra < rb {
+				parent[rb] = ra
+			} else {
+				parent[ra] = rb
+			}
+		}
+	}
+
+	// Densify domain ids in order of lowest member unit.
+	p := Partition{Domain: make([]int, top.N), MinLookahead: math.Inf(1)}
+	ids := make(map[int]int, top.N)
+	for u := 0; u < top.N; u++ {
+		r := find(u)
+		id, ok := ids[r]
+		if !ok {
+			id = p.NumDomains
+			ids[r] = id
+			p.NumDomains++
+		}
+		p.Domain[u] = id
+	}
+
+	// Cross-domain lookahead statistics.
+	cross := func(a, b int, la float64) {
+		if p.Domain[a] != p.Domain[b] {
+			p.CrossEdges++
+			if la < p.MinLookahead {
+				p.MinLookahead = la
+			}
+		}
+	}
+	for _, e := range top.Edges {
+		cross(e.A, e.B, e.Lookahead)
+	}
+	if top.AllToAll {
+		for a := 0; a < top.N; a++ {
+			for b := a + 1; b < top.N; b++ {
+				cross(a, b, top.AllToAllLookahead)
+			}
+		}
+	}
+	return p, nil
+}

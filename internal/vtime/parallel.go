@@ -1,0 +1,485 @@
+package vtime
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Conservative parallel event loop.
+//
+// The kernel's scheduling instant has two phases (see Run): drain every
+// runnable actor, then advance virtual time to the next completion.  The
+// parallel scheduler parallelises only the drain, in *waves*: a wave is
+// the runnable segment at its start; the wave's actors are grouped by
+// lookahead domain; each domain runs its actors — in queue order — on a
+// worker goroutine, concurrently with the other domains.  No domain
+// executes past the wave boundary, which is each domain's conservative
+// safe window: every event that could affect it from outside its domain
+// is delivered by the strictly-later sequential commit or fire phase.
+//
+// Determinism is by construction, not by locking:
+//
+//   - During a parallel turn the actor's kernel mutations are not applied,
+//     they are *staged* in program order (Post, Signal/Broadcast, Wait,
+//     the final blocking Execute).  A barrier ends the wave, then a
+//     sequential commit walks the wave in global queue order and applies
+//     each actor's staged ops — so sequence numbers, heap contents, cond
+//     FIFO orders and runnable-queue appends come out exactly as the
+//     sequential loop would have produced them.
+//   - State shared *across* domains (collective slots, global intern
+//     tables, study accumulators) must not be touched from a parallel
+//     turn at all.  Actor.Exclusive is the escape hatch: it parks the
+//     actor, and the commit resumes it inline — with direct kernel access
+//     — at its queue position.  Once a domain hits an exclusive pause,
+//     the rest of that domain's wave is deferred to the commit too, so
+//     in-domain program order survives.
+//   - Virtual time never moves inside a wave, and the finish heap is
+//     keyed by the total order (finishAt, seq), so the pop sequence is
+//     independent of the heap's internal shape.
+//
+// A wave whose actors all share one domain bypasses staging entirely and
+// runs the plain sequential handshake.
+
+// turnKind records how an actor's wave turn was (or will be) executed.
+type turnKind uint8
+
+const (
+	turnNone      turnKind = iota
+	turnStaged             // ran in the parallel phase; ops await commit
+	turnExclusive          // ran until Exclusive(); commit resumes it inline
+	turnInline             // deferred whole; commit runs it inline
+)
+
+// opKind tags one staged kernel operation.
+type opKind uint8
+
+const (
+	opPost opKind = iota
+	opSignal
+	opBroadcast
+	opWait
+	opExecute
+)
+
+// stagedOp is one kernel mutation recorded during a parallel turn, applied
+// verbatim — in program order — by the wave commit.
+type stagedOp struct {
+	kind opKind
+	cond *Cond
+	act  Action
+	fn   func()
+}
+
+// parJob is one unit handed to a worker goroutine: a domain's share of the
+// current wave, or (nil domain) a shard of the parallel dirty-flush.
+type parJob struct {
+	d *domainRun
+}
+
+// domainRun is one domain's reusable per-wave state.
+type domainRun struct {
+	k      *Kernel
+	id     int
+	actors []*Actor // this domain's slice of the wave, queue order
+	stalls uint64   // turns deferred to the commit this wave
+	excls  uint64   // exclusive pauses this wave
+	turns  uint64   // turns completed in the parallel phase this wave
+}
+
+// parKernel is the parallel scheduler's state, nil on sequential kernels.
+type parKernel struct {
+	workers   int
+	domains   []domainRun
+	active    []*domainRun   // domains with actors in the current wave
+	elig      []*domainRun   // unpinned subset of active (reused per wave)
+	pins      []atomic.Int32 // per-domain pin counts (see PinDomain)
+	work      chan parJob
+	wg        sync.WaitGroup
+	inWave    atomic.Bool  // parallel phase in progress (guards Spawn/Post misuse)
+	flushNext atomic.Int64 // work-stealing cursor of the parallel dirty-flush
+	started   bool
+}
+
+// parFlushMin is the dirty-set size below which the parallel flush is not
+// worth its dispatch round-trips.
+const parFlushMin = 4
+
+// SetParallel switches the kernel's drain phase to the conservative
+// parallel scheduler with the given worker count and lookahead-domain
+// count (see PartitionTopology; assign each actor's domain with
+// Actor.SetDomain).  Committed results are byte-identical to the
+// sequential loop for every worker count.  workers <= 1 or a single
+// domain keeps the sequential loop — there is nothing to overlap.  Call
+// before Run.
+func (k *Kernel) SetParallel(workers, numDomains int) {
+	if k.running {
+		panic("vtime: SetParallel after Run")
+	}
+	if workers <= 1 || numDomains <= 1 {
+		k.par = nil
+		return
+	}
+	if workers > numDomains {
+		workers = numDomains
+	}
+	p := &parKernel{
+		workers: workers,
+		domains: make([]domainRun, numDomains),
+		active:  make([]*domainRun, 0, numDomains),
+		elig:    make([]*domainRun, 0, numDomains),
+		pins:    make([]atomic.Int32, numDomains),
+		work:    make(chan parJob, numDomains),
+	}
+	for i := range p.domains {
+		p.domains[i].k = k
+		p.domains[i].id = i
+	}
+	k.par = p
+}
+
+// IsParallel reports whether the parallel scheduler is active.
+func (k *Kernel) IsParallel() bool { return k.par != nil }
+
+// NumDomains returns the configured lookahead-domain count (1 when
+// sequential).
+func (k *Kernel) NumDomains() int {
+	if k.par == nil {
+		return 1
+	}
+	return len(k.par.domains)
+}
+
+// SetDomain assigns the actor to a lookahead domain.  Call it before the
+// actor's first turn (spawned actors inherit the domain of the actor that
+// spawned them, so only top-level actors need explicit assignment).
+func (a *Actor) SetDomain(d int) {
+	if p := a.k.par; p != nil && (d < 0 || d >= len(p.domains)) {
+		panic("vtime: SetDomain outside the configured partition")
+	}
+	a.domain = d
+}
+
+// Domain returns the actor's lookahead domain.
+func (a *Actor) Domain() int { return a.domain }
+
+// Exclusive hands the remainder of the actor's current turn to the
+// kernel's commit order.  On the sequential kernel (and in a turn that is
+// already inline) it is a no-op; in a parallel turn it parks the actor,
+// and the wave commit resumes it — with direct kernel access — at exactly
+// the position the sequential loop would have run it.  Call it before
+// touching simulation state shared across lookahead domains: collective
+// slots, global intern tables, cross-rank accumulators.
+func (a *Actor) Exclusive() {
+	if !a.staging {
+		return
+	}
+	a.wantExcl = true
+	a.yield()
+}
+
+// PinDomain forces every turn of the given lookahead domain onto the
+// commit path — the global queue order — from the next wave boundary
+// until a matching UnpinDomain.  Pins nest, and a pin with no unpin is
+// permanent.  Safe to call from any context, including a staged turn.
+//
+// Simulation layers pin domains around interactions whose side effects
+// cannot be reproduced from concurrent turns: a rendezvous transfer that
+// draws from another domain's noise stream pins both endpoints for the
+// announce-to-match span, and a working-set registration on a NUMA
+// domain shared across lookahead domains pins the sharers for good.
+// The pin takes effect strictly before the offending interaction can
+// occur (its trigger is always at least one wave ahead of the effect),
+// so committed results stay byte-identical.
+func (k *Kernel) PinDomain(d int) {
+	if p := k.par; p != nil {
+		p.pins[d].Add(1)
+		k.metrics.DomainPins.Inc()
+	}
+}
+
+// UnpinDomain releases one PinDomain.  The domain resumes parallel
+// scheduling at the next wave boundary once its pin count reaches zero.
+func (k *Kernel) UnpinDomain(d int) {
+	if p := k.par; p != nil {
+		if p.pins[d].Add(-1) < 0 {
+			panic("vtime: UnpinDomain without a matching PinDomain")
+		}
+	}
+}
+
+// Post schedules a detached action from this actor's context; from a
+// parallel turn it is staged and submitted at the actor's commit
+// position, otherwise it is Kernel.Post.  Code that can run inside an
+// actor's turn must use this instead of Kernel.Post so the submission
+// order (and therefore every sequence number after it) stays the
+// sequential one.
+func (a *Actor) Post(act Action, fn func()) {
+	if a.staging {
+		a.staged = append(a.staged, stagedOp{kind: opPost, act: act, fn: fn})
+		return
+	}
+	a.k.Post(act, fn)
+}
+
+// start launches the worker goroutines (idempotent).
+func (p *parKernel) start(k *Kernel) {
+	if p.started {
+		return
+	}
+	p.started = true
+	for w := 0; w < p.workers; w++ {
+		go func() {
+			for j := range p.work {
+				if j.d != nil {
+					j.d.run()
+				} else {
+					k.flushShard()
+				}
+				p.wg.Done()
+			}
+		}()
+	}
+}
+
+// stop releases the worker goroutines.
+func (p *parKernel) stop() {
+	if p.started {
+		close(p.work)
+		p.started = false
+	}
+}
+
+// run executes one domain's share of a wave: each actor's turn in queue
+// order, staging its kernel ops.  An exclusive pause stops the domain —
+// the paused actor and everything after it in this domain must run at the
+// commit, inline, to keep in-domain program order intact.
+func (d *domainRun) run() {
+	excl := false
+	for _, a := range d.actors {
+		if excl || a.firstTurn {
+			// A first turn is exclusive by policy (spawn-time setup touches
+			// cross-domain state), and it stops the domain like any other
+			// exclusive turn: later in-domain actors may depend on what it
+			// writes, so they defer to the commit with it.
+			a.turn = turnInline
+			excl = true
+			d.stalls++
+			continue
+		}
+		a.staging = true
+		a.resume <- struct{}{}
+		<-a.yieldCh
+		a.staging = false
+		if a.wantExcl {
+			a.turn = turnExclusive
+			excl = true
+			d.excls++
+		} else {
+			a.turn = turnStaged
+			d.turns++
+		}
+	}
+	d.actors = d.actors[:0]
+}
+
+// drainParallel is the parallel replacement for Run's phase 1: it drains
+// the runnable queue in waves until it is empty or an actor has failed.
+func (k *Kernel) drainParallel() error {
+	p := k.par
+	p.start(k)
+	for k.runHead < len(k.runnable) {
+		start, end := k.runHead, len(k.runnable)
+		k.runHead = end
+		wave := k.runnable[start:end]
+		// Group the wave by domain, preserving queue order within each.
+		p.active = p.active[:0]
+		for _, a := range wave {
+			if a.done {
+				continue
+			}
+			d := &p.domains[a.domain]
+			if len(d.actors) == 0 {
+				p.active = append(p.active, d)
+			}
+			d.actors = append(d.actors, a)
+		}
+		k.metrics.Waves.Inc()
+		k.metrics.NullWindows.Add(uint64(len(p.domains) - len(p.active)))
+		// Pinned domains sit out the parallel phase — their turns join
+		// the commit in global queue order (see PinDomain).  Pin counts
+		// only move from committed turns and the fire phase, so the
+		// split is stable for the whole wave.
+		p.elig = p.elig[:0]
+		for _, d := range p.active {
+			if p.pins[d.id].Load() == 0 {
+				p.elig = append(p.elig, d)
+			}
+		}
+		if len(p.elig) <= 1 {
+			// At most one domain could overlap — nothing to gain, so run
+			// the plain sequential handshake (no staging, no commit
+			// round-trip).
+			for _, d := range p.active {
+				d.actors = d.actors[:0]
+			}
+			for i, a := range wave {
+				wave[i] = nil
+				if a.done {
+					continue
+				}
+				k.metrics.InlineTurns.Inc()
+				k.runTurnInline(a)
+				if k.failure != nil {
+					return k.failure
+				}
+			}
+			continue
+		}
+		for _, d := range p.active {
+			if p.pins[d.id].Load() > 0 {
+				for _, a := range d.actors {
+					a.turn = turnInline
+				}
+				d.stalls += uint64(len(d.actors))
+				d.actors = d.actors[:0]
+			}
+		}
+		// Parallel phase: each eligible domain runs its turns concurrently.
+		p.inWave.Store(true)
+		for _, d := range p.elig {
+			p.wg.Add(1)
+			p.work <- parJob{d: d}
+		}
+		p.wg.Wait()
+		p.inWave.Store(false)
+		for _, d := range p.active {
+			k.metrics.ParTurns.Add(d.turns)
+			k.metrics.ExclTurns.Add(d.excls)
+			k.metrics.SafeWindowStalls.Add(d.stalls + d.excls)
+			d.turns, d.excls, d.stalls = 0, 0, 0
+		}
+		// Commit phase: apply every actor's staged ops — and run the
+		// deferred turns — in global queue order.  This is where the
+		// sequential order is reconstructed exactly.
+		for i, a := range wave {
+			wave[i] = nil
+			switch a.turn {
+			case turnNone: // was already done when the wave formed
+				continue
+			case turnStaged:
+				k.applyStaged(a)
+				if a.done {
+					k.noteExit(a)
+				}
+			case turnExclusive:
+				a.wantExcl = false
+				k.applyStaged(a)
+				k.metrics.InlineTurns.Inc()
+				k.runTurnInline(a)
+			case turnInline:
+				k.metrics.InlineTurns.Inc()
+				k.runTurnInline(a)
+			}
+			a.turn = turnNone
+		}
+		if k.failure != nil {
+			return k.failure
+		}
+	}
+	return nil
+}
+
+// runTurnInline resumes a parked actor with direct kernel access and
+// waits for it to block again — the sequential handshake.
+func (k *Kernel) runTurnInline(a *Actor) {
+	a.firstTurn = false
+	k.current = a
+	a.resume <- struct{}{}
+	<-a.yieldCh
+	k.current = nil
+	if a.done {
+		k.noteExit(a)
+	}
+}
+
+// applyStaged replays one actor's staged kernel ops in program order.
+func (k *Kernel) applyStaged(a *Actor) {
+	for i := range a.staged {
+		op := &a.staged[i]
+		switch op.kind {
+		case opPost:
+			k.Post(op.act, op.fn)
+		case opSignal:
+			op.cond.Signal()
+		case opBroadcast:
+			op.cond.Broadcast()
+		case opWait:
+			op.cond.waiters = append(op.cond.waiters, a)
+		case opExecute:
+			k.submit(&a.act)
+		}
+		op.cond = nil
+		op.fn = nil
+	}
+	a.staged = a.staged[:0]
+}
+
+// flushShard is one worker's share of the parallel dirty-flush: it claims
+// dirty resources off the shared cursor and recomputes their members'
+// settlements, shares and finish predictions.  Resources never share
+// member actions, so shards race on nothing; the heap itself is fixed up
+// sequentially afterwards (see flushDirtyParallel).
+func (k *Kernel) flushShard() {
+	p := k.par
+	for {
+		i := int(p.flushNext.Add(1)) - 1
+		if i >= len(k.dirty) {
+			return
+		}
+		r := k.dirty[i]
+		for _, m := range r.members {
+			m.settle(k.now)
+		}
+		shareResource(r)
+		for _, m := range r.members {
+			if m.remaining <= workEpsilon {
+				m.finishAt = k.now
+			} else {
+				m.finishAt = k.now + m.remaining/m.rate
+			}
+		}
+	}
+}
+
+// flushDirtyParallel resettles the dirty set on the worker pool: the
+// settle/share/predict arithmetic runs sharded across workers (phase A),
+// then the heap keys are applied in dirty-list order on this goroutine
+// (phase B).  Every finishAt is computed exactly as the sequential
+// resettle computes it, and the heap's (finishAt, seq) key is a total
+// order, so pop order — and therefore every committed result — is
+// unchanged.
+func (k *Kernel) flushDirtyParallel() {
+	p := k.par
+	p.flushNext.Store(0)
+	n := p.workers
+	if n > len(k.dirty) {
+		n = len(k.dirty)
+	}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		p.work <- parJob{}
+	}
+	p.wg.Wait()
+	for i, r := range k.dirty {
+		r.dirty = false
+		k.dirty[i] = nil
+		for _, m := range r.members {
+			if m.heapIndex >= 0 {
+				k.heap.fix(m)
+			} else {
+				k.heap.push(m)
+			}
+		}
+	}
+	k.dirty = k.dirty[:0]
+}

@@ -1,0 +1,204 @@
+package vtime_test
+
+// The differential battery for the conservative parallel kernel: every
+// paper app and propagation pattern, every timer mode, every worker
+// count must produce byte-identical traces and analysis profiles to the
+// sequential kernel — and, where a committed golden checksum exists,
+// to that golden grid.  The battery lives in vtime's external test
+// package so the kernel's own CI (including the -race run) exercises
+// the full experiment pipeline on top of the parallel scheduler.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/measure"
+	"repro/internal/noise"
+)
+
+// parDiffApps is the full differential matrix: five paper
+// configurations (covering MPI-only, hybrid, one-per-domain and packed
+// placements) and the five propagation patterns (covering ring, torus,
+// pipeline and star topologies, i.e. every Topology constructor).
+var parDiffApps = []string{
+	"MiniFE-1", "MiniFE-2", "LULESH-1", "TeaLeaf-1", "TeaLeaf-3",
+	"Ring-16", "RingSlack-16", "Torus-16", "Pipeline-8", "MasterWorker-8",
+}
+
+// parDiffAppsShort keeps one app per placement/topology family so the
+// -short and -race runs still cross every scheduling regime: a
+// one-per-domain paper app (8 domains, all-to-all fallback), a hybrid
+// packed app, a 16-domain ring and the star farm whose master talks to
+// everyone.
+var parDiffAppsShort = []string{"MiniFE-1", "TeaLeaf-3", "Ring-16", "MasterWorker-8"}
+
+// runForDiff executes one (spec, mode, workers) job under the golden
+// protocol: seed 1, cluster noise, analysis on.  workers<=1 is the
+// sequential kernel.  mode "" runs uninstrumented.
+func runForDiff(t *testing.T, spec experiment.Spec, mode core.Mode, workers int) *experiment.RunResult {
+	t.Helper()
+	o := experiment.RunOptions{Seed: 1, Noise: noise.Cluster(), KernelWorkers: workers}
+	if mode != "" {
+		cfg := measure.DefaultConfig(mode)
+		o.Cfg = &cfg
+		o.Analyze = true
+	}
+	res, err := experiment.RunWithOptions(spec, o)
+	if err != nil {
+		t.Fatalf("%s/%s workers=%d: %v", spec.Name, mode, workers, err)
+	}
+	return res
+}
+
+// diffSums fingerprints a run's serialised trace and profile.
+func diffSums(t *testing.T, res *experiment.RunResult) (traceSum, profileSum string) {
+	t.Helper()
+	if res.Trace != nil {
+		h := sha256.New()
+		if err := res.Trace.Write(h); err != nil {
+			t.Fatalf("serialising trace: %v", err)
+		}
+		traceSum = hex.EncodeToString(h.Sum(nil))
+	}
+	if res.Profile != nil {
+		h := sha256.New()
+		if err := res.Profile.Write(h); err != nil {
+			t.Fatalf("serialising profile: %v", err)
+		}
+		profileSum = hex.EncodeToString(h.Sum(nil))
+	}
+	return traceSum, profileSum
+}
+
+// compareRuns demands two runs of the same job are indistinguishable:
+// scalar results, per-rank checks, phase sums, applied-fault logs and
+// the serialised trace/profile bytes.
+func compareRuns(t *testing.T, label string, seq, par *experiment.RunResult) {
+	t.Helper()
+	if seq.Wall != par.Wall {
+		t.Errorf("%s: wall time diverged: sequential %v, parallel %v", label, seq.Wall, par.Wall)
+	}
+	if !reflect.DeepEqual(seq.Checks, par.Checks) {
+		t.Errorf("%s: per-rank checks diverged:\n  seq %v\n  par %v", label, seq.Checks, par.Checks)
+	}
+	if seq.FoM != par.FoM {
+		t.Errorf("%s: figure of merit diverged: sequential %v, parallel %v", label, seq.FoM, par.FoM)
+	}
+	if !reflect.DeepEqual(seq.Phases, par.Phases) {
+		t.Errorf("%s: phase sums diverged:\n  seq %v\n  par %v", label, seq.Phases, par.Phases)
+	}
+	if !reflect.DeepEqual(seq.Applied, par.Applied) {
+		t.Errorf("%s: applied-fault logs diverged:\n  seq %v\n  par %v", label, seq.Applied, par.Applied)
+	}
+	st, sp := diffSums(t, seq)
+	pt, pp := diffSums(t, par)
+	if st != pt {
+		t.Errorf("%s: trace bytes diverged from the sequential kernel\n  seq %s\n  par %s", label, st, pt)
+	}
+	if sp != pp {
+		t.Errorf("%s: profile bytes diverged from the sequential kernel\n  seq %s\n  par %s", label, sp, pp)
+	}
+}
+
+// goldenGrid loads the committed PR 4 golden checksum grid from the
+// experiment package's testdata, keyed "app/mode".
+func goldenGrid(t *testing.T) map[string]struct{ Trace, Profile string } {
+	t.Helper()
+	raw, err := os.ReadFile("../experiment/testdata/golden_sha256.json")
+	if err != nil {
+		t.Fatalf("reading golden checksum grid: %v", err)
+	}
+	var want map[string]struct {
+		Trace   string `json:"trace"`
+		Profile string `json:"profile"`
+	}
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("parsing golden checksum grid: %v", err)
+	}
+	out := make(map[string]struct{ Trace, Profile string }, len(want))
+	for k, v := range want {
+		out[k] = struct{ Trace, Profile string }{v.Trace, v.Profile}
+	}
+	return out
+}
+
+// parDiffWorkerCounts is the worker axis of the matrix.  1 must take
+// the sequential path (SetParallel declines), the rest exercise real
+// wave scheduling; GOMAXPROCS catches oversubscription of small
+// partitions (the kernel caps workers at the domain count).
+func parDiffWorkerCounts() []int {
+	ws := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 2 && p != 4 {
+		ws = append(ws, p)
+	}
+	return ws
+}
+
+// TestParallelKernelMatchesSequential is the PR's central claim as a
+// test: for every app × mode × worker count, the parallel kernel's
+// committed output is byte-identical to the sequential kernel's, and
+// matches the committed golden grid where one exists.  Any divergence
+// — a cross-domain event merged out of order, a noise stream drawn
+// from the wrong position, an intern table filled in wave order — is a
+// hard failure, not a tolerance.
+func TestParallelKernelMatchesSequential(t *testing.T) {
+	apps := parDiffApps
+	modes := append([]core.Mode{""}, core.AllModes()...)
+	workers := parDiffWorkerCounts()
+	if testing.Short() || raceDetectorEnabled {
+		apps = parDiffAppsShort
+		modes = []core.Mode{"", core.ModeTSC, core.ModeHwctr}
+		workers = []int{2, runtime.GOMAXPROCS(0)}
+	}
+	golden := goldenGrid(t)
+	for _, app := range apps {
+		app := app
+		t.Run(app, func(t *testing.T) {
+			t.Parallel()
+			spec, err := experiment.SpecByName(app, experiment.Options{Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, mode := range modes {
+				seq := runForDiff(t, spec, mode, 1)
+				if mode != "" {
+					if g, ok := golden[app+"/"+string(mode)]; ok {
+						st, sp := diffSums(t, seq)
+						if st != g.Trace || sp != g.Profile {
+							t.Fatalf("%s/%s: sequential baseline drifted from the committed golden grid", app, mode)
+						}
+					}
+				}
+				for _, w := range workers {
+					if w <= 1 {
+						continue
+					}
+					par := runForDiff(t, spec, mode, w)
+					compareRuns(t, app+"/"+string(mode)+"/workers="+itoa(w), seq, par)
+				}
+			}
+		})
+	}
+}
+
+// itoa avoids pulling strconv into the hot import list for one label.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

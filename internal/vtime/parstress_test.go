@@ -1,0 +1,165 @@
+package vtime_test
+
+// Stress companions to the differential battery: fault plans (whose
+// Post-callback capacity windows land on resources mid-wave) and the
+// wide-wave bench spec (whose lockstep completions produce the widest
+// fully-staged waves the scheduler ever sees).  Both run under the CI
+// -race pass of this package.
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/faults"
+	"repro/internal/machine"
+	"repro/internal/measure"
+	"repro/internal/noise"
+	"repro/internal/vtime"
+	"repro/internal/work"
+)
+
+// stressPlan arms every fault kind at once on a 16-rank spec: one-off
+// delays and stragglers perturb individual ranks' schedules, link and
+// memory degradations collapse shared resource capacities from fire-
+// phase callbacks, and a counter glitch corrupts instrumentation on a
+// rank that keeps running.
+func stressPlan() *faults.Plan {
+	return &faults.Plan{
+		Seed: 7,
+		Faults: []faults.Fault{
+			{Kind: faults.OneOffDelay, Rank: 3, At: 1e-4, Delay: 5e-4},
+			{Kind: faults.Straggler, Rank: 9, At: 2e-4, Duration: 3e-3, Factor: 1.5},
+			{Kind: faults.LinkDegrade, Node: 0, At: 1.5e-4, Duration: 2e-3, Factor: 0.5},
+			{Kind: faults.MemDegrade, Domain: 0, At: 2.5e-4, Duration: 1e-3, Factor: 0.25},
+			{Kind: faults.CtrGlitch, Rank: 5, At: 3e-4, Factor: 0.1},
+		},
+	}
+}
+
+// TestParallelKernelFaultStress runs the parallel kernel with a full
+// fault plan armed, instrumented and uninstrumented, and demands byte
+// identity with the sequential kernel.  Faults are the adversarial case
+// for wave scheduling: their Post callbacks fire between waves and
+// mutate machine capacities and working sets that every staged turn
+// reads, so any window where a staged turn could observe a half-applied
+// fault shows up here as divergence (or, under -race, as a report).
+func TestParallelKernelFaultStress(t *testing.T) {
+	spec, err := experiment.SpecByName("Ring-16", experiment.Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := stressPlan()
+	run := func(mode core.Mode, workers int) *experiment.RunResult {
+		o := experiment.RunOptions{Seed: 1, Noise: noise.Cluster(), KernelWorkers: workers, Faults: plan}
+		if mode != "" {
+			cfg := measure.DefaultConfig(mode)
+			o.Cfg = &cfg
+			o.Analyze = true
+		}
+		res, err := experiment.RunWithOptions(spec, o)
+		if err != nil {
+			t.Fatalf("%s/%s workers=%d: %v", spec.Name, mode, workers, err)
+		}
+		return res
+	}
+	for _, mode := range []core.Mode{"", core.ModeLt1} {
+		seq := run(mode, 1)
+		if len(seq.Applied) == 0 {
+			t.Fatalf("%s: fault plan armed but nothing applied", mode)
+		}
+		for _, w := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+			if w <= 1 {
+				continue
+			}
+			compareRuns(t, spec.Name+"/"+string(mode)+"/faults/workers="+itoa(w), seq, run(mode, w))
+		}
+	}
+}
+
+// TestParallelMachineContentionStress is the bench suite's
+// MachineContention workload on the parallel kernel with faults armed:
+// 16 streams hammer one NUMA domain's fluid-model resources from 16
+// lookahead domains while a one-off delay, a straggler window and a
+// memory-bandwidth collapse perturb them mid-run.  Every fluid
+// resource is shared by all domains, so every wave stages contending
+// Executes that the commit must serialise — the densest cross-domain
+// traffic the scheduler sees, and the -race run's best shot at any
+// unsynchronised access on the staging or resettle paths.  Virtual
+// completion times must be identical across worker counts.
+func TestParallelMachineContentionStress(t *testing.T) {
+	const streams, quanta = 16, 50
+	cost := work.Cost{Instr: 1e6, Flops: 1e6, Bytes: 1e6}
+	run := func(workers int) []float64 {
+		t.Helper()
+		k := vtime.NewKernel()
+		if workers > 1 {
+			k.SetParallel(workers, streams)
+		}
+		m := machine.New(k, machine.Jureca(1))
+		m.AddWorkingSet(0, 1e9)
+		place, err := machine.PlaceBlock(m, streams, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := faults.Plan{Faults: []faults.Fault{
+			{Kind: faults.OneOffDelay, Rank: 2, At: 1e-4, Delay: 5e-4},
+			{Kind: faults.Straggler, Rank: 7, At: 2e-4, Duration: 5e-3, Factor: 2},
+			{Kind: faults.MemDegrade, Domain: 0, At: 3e-4, Duration: 4e-3, Factor: 0.25},
+		}}
+		if _, err := faults.Arm(k, m, place, plan); err != nil {
+			t.Fatal(err)
+		}
+		ends := make([]float64, streams)
+		for c := 0; c < streams; c++ {
+			c := c
+			core := place.Core(c, 0)
+			k.Spawn("t", func(a *vtime.Actor) {
+				a.SetDomain(c)
+				for j := 0; j < quanta; j++ {
+					m.Exec(a, core, cost, nil)
+				}
+				ends[c] = a.Now()
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return ends
+	}
+	want := run(1)
+	for _, w := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		if w <= 1 {
+			continue
+		}
+		if got := run(w); !reflect.DeepEqual(want, got) {
+			t.Errorf("workers=%d: completion times diverged\n  seq %v\n  par %v", w, want, got)
+		}
+	}
+}
+
+// TestParallelKernelWideWave covers the scheduling regime the paper
+// apps rarely produce: the bench package's lockstep spec, where every
+// wave is a full-width set of staged turns with no communication and
+// no pins.  The narrow-wave apps exercise the commit machinery; this
+// one exercises sustained concurrent staging.
+func TestParallelKernelWideWave(t *testing.T) {
+	spec := bench.KernelParSpec()
+	run := func(workers int) *experiment.RunResult {
+		res, err := experiment.RunWithOptions(spec, experiment.RunOptions{Seed: 1, KernelWorkers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	seq := run(1)
+	for _, w := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		if w <= 1 {
+			continue
+		}
+		compareRuns(t, spec.Name+"/workers="+itoa(w), seq, run(w))
+	}
+}

@@ -1,0 +1,113 @@
+package vtime_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+// decodePartitionInput turns a fuzz byte string into a (topology,
+// colocate) pair.  The decoder is total: every byte string maps to some
+// input, most of them valid, a tail of them deliberately malformed
+// (out-of-range units, negative lookahead) to exercise the error paths.
+func decodePartitionInput(data []byte) (vtime.Topology, [][2]int) {
+	next := func() int {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return int(b)
+	}
+	n := next()%17 + 1 // 1..17 units
+	top := vtime.Topology{N: n}
+	if next()%4 == 0 {
+		top.AllToAll = true
+		top.AllToAllLookahead = float64(next()) / 16
+	}
+	edges := next() % 24
+	for i := 0; i < edges; i++ {
+		e := vtime.Edge{
+			A:         next() % (n + 1), // n is out of range: hits validation
+			B:         next() % (n + 1),
+			Lookahead: float64(next()-8) / 16, // occasionally negative
+		}
+		top.Edges = append(top.Edges, e)
+	}
+	var colocate [][2]int
+	pairs := next() % 8
+	for i := 0; i < pairs; i++ {
+		colocate = append(colocate, [2]int{next() % (n + 1), next() % (n + 1)})
+	}
+	return top, colocate
+}
+
+// FuzzPartition checks the partition invariants the parallel kernel
+// depends on, for arbitrary topologies and co-location constraints:
+// every unit lands in exactly one dense domain, co-located units share
+// one, cross-domain lookahead is never negative, and a single-domain
+// partition reduces the kernel to the sequential loop.
+func FuzzPartition(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{4, 0, 3, 0, 1, 8, 1, 2, 8, 2, 3, 8, 0})
+	f.Add([]byte{8, 1, 16, 0})
+	f.Add([]byte{16, 3, 6, 0, 1, 4, 2, 0, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		top, colocate := decodePartitionInput(data)
+		p, err := vtime.PartitionTopology(top, colocate)
+		if err != nil {
+			// Malformed input must be rejected, never half-applied.
+			if p.NumDomains != 0 || p.Domain != nil {
+				t.Fatalf("error %v returned non-zero partition %+v", err, p)
+			}
+			return
+		}
+		if len(p.Domain) != top.N {
+			t.Fatalf("Domain covers %d of %d units", len(p.Domain), top.N)
+		}
+		if p.NumDomains < 1 || p.NumDomains > top.N {
+			t.Fatalf("NumDomains %d out of range for %d units", p.NumDomains, top.N)
+		}
+		// Dense ids ordered by lowest member: the first occurrence of each
+		// id must be the ids in increasing order.
+		seen := make([]bool, p.NumDomains)
+		nextID := 0
+		for u, d := range p.Domain {
+			if d < 0 || d >= p.NumDomains {
+				t.Fatalf("unit %d assigned out-of-range domain %d", u, d)
+			}
+			if !seen[d] {
+				if d != nextID {
+					t.Fatalf("domain ids not dense in first-member order: unit %d got %d, want %d", u, d, nextID)
+				}
+				seen[d] = true
+				nextID++
+			}
+		}
+		for _, c := range colocate {
+			if p.Domain[c[0]] != p.Domain[c[1]] {
+				t.Fatalf("co-located units %d,%d in domains %d,%d", c[0], c[1], p.Domain[c[0]], p.Domain[c[1]])
+			}
+		}
+		if math.IsNaN(p.MinLookahead) || p.MinLookahead < 0 {
+			t.Fatalf("MinLookahead %g", p.MinLookahead)
+		}
+		if p.CrossEdges == 0 && !math.IsInf(p.MinLookahead, 1) {
+			t.Fatalf("no cross edges but MinLookahead %g", p.MinLookahead)
+		}
+		// A single-domain partition must reduce to the sequential loop:
+		// SetParallel declines and the kernel reports one domain.
+		k := vtime.NewKernel()
+		k.SetParallel(4, p.NumDomains)
+		if p.NumDomains == 1 && k.IsParallel() {
+			t.Fatal("1-domain partition left the kernel parallel")
+		}
+		if !k.IsParallel() && k.NumDomains() != 1 {
+			t.Fatalf("sequential kernel reports %d domains", k.NumDomains())
+		}
+		if k.IsParallel() && k.NumDomains() != p.NumDomains {
+			t.Fatalf("kernel reports %d domains, partition has %d", k.NumDomains(), p.NumDomains)
+		}
+	})
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package vtime_test
+
+const raceDetectorEnabled = false

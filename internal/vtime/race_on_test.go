@@ -1,0 +1,7 @@
+//go:build race
+
+package vtime_test
+
+// raceDetectorEnabled shrinks the differential matrix under -race,
+// where every run costs an order of magnitude more wall time.
+const raceDetectorEnabled = true
