@@ -1,13 +1,27 @@
-// Command detlint runs the repo's determinism lint suite (see
-// internal/lint/detlint) over Go packages, multichecker-style: every
-// analyzer runs on every package, findings print as file:line:col
-// diagnostics, and any finding fails the run.
+// Command detlint runs the repo's static-analysis suites over the
+// whole module, multichecker-style: findings print as file:line:col
+// diagnostics (or JSON with -json), and any finding fails the run.
 //
-//	detlint ./...
-//	detlint ./internal/cube ./internal/scalasca
+//	detlint                      # determinism suite (syntactic)
+//	detlint -suite parlint       # parallel-kernel contract (interprocedural)
+//	detlint -suite all -json     # everything, machine-readable
 //
-// Suppress a deliberate exception with a "//detlint:allow <analyzer>"
-// comment on the offending line or the line above.
+// Suites:
+//
+//	detlint  wallclock/globalrand/maporder, syntactic per-package pass
+//	parlint  stagedmut/exclusive-before/pinpair/globalmut plus the
+//	         interprocedural taint upgrades of the detlint analyzers
+//	         (see internal/lint/parlint)
+//	all      both suites plus the unusedallow meta-check, which reports
+//	         //detlint:allow directives that no longer suppress anything
+//
+// Suppress a deliberate exception with a "//detlint:allow <analyzer>:
+// why" comment on the offending line or the line above.
+//
+// -quick runs the full "all" suite under a wall-clock budget
+// (-budget, default 60s) and fails if analysis alone exceeds it — the
+// CI smoke that keeps the module-wide loader from silently blowing up
+// CI time.
 package main
 
 import (
@@ -16,68 +30,84 @@ import (
 	"log"
 	"os"
 	"path/filepath"
-	"strings"
+	"time"
 
 	"repro/internal/lint"
 	"repro/internal/lint/detlint"
+	"repro/internal/lint/parlint"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("detlint: ")
-	verbose := flag.Bool("v", false, "list packages as they are checked")
+	var (
+		suite   = flag.String("suite", "detlint", "analyzer suite: detlint, parlint, or all")
+		jsonOut = flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+		verbose = flag.Bool("v", false, "report module and analyzer progress on stderr")
+		quick   = flag.Bool("quick", false, "run the full suite under a wall-clock budget (implies -suite all)")
+		budget  = flag.Duration("budget", 60*time.Second, "wall-clock budget for -quick")
+	)
 	flag.Parse()
-	args := flag.Args()
-	if len(args) == 0 {
-		args = []string{"./..."}
-	}
 
 	modDir, err := findModuleRoot()
 	if err != nil {
 		log.Fatal(err)
 	}
-	loader, err := lint.NewLoader(modDir)
+	if *quick {
+		*suite = "all"
+	}
+
+	var analyzers []*lint.Analyzer
+	switch *suite {
+	case "detlint":
+		analyzers = detlint.Analyzers()
+	case "parlint":
+		analyzers = parlint.Analyzers()
+	case "all":
+		analyzers = append(analyzers, detlint.Analyzers()...)
+		analyzers = append(analyzers, parlint.Analyzers()...)
+		analyzers = append(analyzers, lint.UnusedAllow)
+	default:
+		log.Fatalf("unknown suite %q (want detlint, parlint, or all)", *suite)
+	}
+
+	start := time.Now() //detlint:allow wallclock: -quick budget measurement
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "loading module at %s\n", modDir)
+	}
+	m, err := lint.LoadModule(modDir)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	var dirs []string
-	for _, arg := range args {
-		if strings.HasSuffix(arg, "/...") {
-			root := strings.TrimSuffix(arg, "/...")
-			if root == "." || root == "" {
-				root = modDir
-			}
-			expanded, err := lint.ModuleDirs(root)
-			if err != nil {
-				log.Fatal(err)
-			}
-			dirs = append(dirs, expanded...)
-		} else {
-			dirs = append(dirs, arg)
+	if *verbose {
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "running %s\n", a.Name)
 		}
 	}
+	diags, err := lint.RunModuleAnalyzers(m, analyzers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start) //detlint:allow wallclock: -quick budget measurement
+	lint.RelativizePaths(diags, modDir)
 
-	analyzers := detlint.Analyzers()
-	failed := false
-	for _, dir := range dirs {
-		pkg, err := loader.LoadDir(dir)
-		if err != nil {
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
 			log.Fatal(err)
 		}
-		if *verbose {
-			fmt.Fprintf(os.Stderr, "checking %s\n", pkg.Path)
-		}
-		diags, err := lint.Run(pkg, analyzers)
-		if err != nil {
-			log.Fatal(err)
-		}
+	} else {
 		for _, d := range diags {
 			fmt.Println(d)
-			failed = true
 		}
 	}
-	if failed {
+	if *quick {
+		fmt.Fprintf(os.Stderr, "detlint: suite all over %d packages in %v (budget %v)\n",
+			len(m.Packages), elapsed.Round(time.Millisecond), *budget)
+		if elapsed > *budget {
+			log.Fatalf("-quick budget exceeded: %v > %v", elapsed, *budget)
+		}
+	}
+	if len(diags) > 0 {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,130 @@
+package lint_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+func loadCG(t *testing.T) (*lint.Module, *lint.CallGraph) {
+	t.Helper()
+	m, err := lint.LoadModule("testdata/callgraph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, lint.BuildCallGraph(m)
+}
+
+func nodeByName(t *testing.T, g *lint.CallGraph, name string) *lint.FuncNode {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	t.Fatalf("no node named %q", name)
+	return nil
+}
+
+func targetNames(cs *lint.CallSite) []string {
+	var out []string
+	for _, tgt := range cs.Targets {
+		out = append(out, tgt.Name)
+	}
+	return out
+}
+
+func TestStaticCallResolution(t *testing.T) {
+	_, g := loadCG(t)
+	static := nodeByName(t, g, "cg.Static")
+	if len(static.Calls) != 1 {
+		t.Fatalf("cg.Static: want 1 call, got %d", len(static.Calls))
+	}
+	if got := targetNames(static.Calls[0]); len(got) != 1 || got[0] != "cg.helper" {
+		t.Fatalf("cg.Static call targets = %v, want [cg.helper]", got)
+	}
+}
+
+func TestInterfaceDispatchOverApproximation(t *testing.T) {
+	_, g := loadCG(t)
+	n := nodeByName(t, g, "cg.CallIface")
+	if len(n.Calls) != 1 || !n.Calls[0].Interface {
+		t.Fatalf("cg.CallIface: want one interface call, got %+v", n.Calls)
+	}
+	got := strings.Join(targetNames(n.Calls[0]), ",")
+	for _, want := range []string{"(cg.X).Do", "(cg.Y).Do"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("interface dispatch targets %q missing %q", got, want)
+		}
+	}
+}
+
+func TestFuncValueThroughLocal(t *testing.T) {
+	_, g := loadCG(t)
+	n := nodeByName(t, g, "cg.Dynamic")
+	if len(n.Calls) != 1 || !n.Calls[0].Dynamic {
+		t.Fatalf("cg.Dynamic: want one dynamic call, got %+v", n.Calls)
+	}
+	if got := targetNames(n.Calls[0]); len(got) != 1 || got[0] != "cg.helper" {
+		t.Fatalf("local func value resolves to %v, want [cg.helper]", got)
+	}
+}
+
+func TestFuncValueThroughEscapedPool(t *testing.T) {
+	_, g := loadCG(t)
+	n := nodeByName(t, g, "cg.TwoLevel")
+	var dyn *lint.CallSite
+	for _, cs := range n.Calls {
+		if cs.Dynamic {
+			dyn = cs
+		}
+	}
+	if dyn == nil {
+		t.Fatal("cg.TwoLevel: no dynamic call found")
+	}
+	if got := strings.Join(targetNames(dyn), ","); !strings.Contains(got, "cg.helper") {
+		t.Fatalf("escaped-pool resolution = %q, want cg.helper", got)
+	}
+}
+
+func TestSCCBottomUpOrder(t *testing.T) {
+	_, g := loadCG(t)
+	sccs := g.SCCs()
+	pos := make(map[string]int)
+	for i, scc := range sccs {
+		for _, n := range scc {
+			pos[n.Name] = i
+		}
+	}
+	if pos["cg.helper"] >= pos["cg.Static"] {
+		t.Errorf("callee SCC (helper, %d) must come before caller SCC (Static, %d)",
+			pos["cg.helper"], pos["cg.Static"])
+	}
+	if pos["cg.Ping"] != pos["cg.Pong"] {
+		t.Errorf("mutual recursion split across SCCs: Ping=%d Pong=%d", pos["cg.Ping"], pos["cg.Pong"])
+	}
+}
+
+// renderGraph serialises the whole graph: node names plus per-call
+// target lists, the byte-level fingerprint two runs must agree on.
+func renderGraph(g *lint.CallGraph) string {
+	var b strings.Builder
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&b, "%s:", n.Name)
+		for _, cs := range n.Calls {
+			fmt.Fprintf(&b, " [%s]", strings.Join(targetNames(cs), ","))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func TestCallGraphDeterminism(t *testing.T) {
+	_, g1 := loadCG(t)
+	_, g2 := loadCG(t)
+	if r1, r2 := renderGraph(g1), renderGraph(g2); r1 != r2 {
+		t.Errorf("two builds disagree:\n--- first\n%s--- second\n%s", r1, r2)
+	}
+}

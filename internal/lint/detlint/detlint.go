@@ -111,6 +111,24 @@ var sinkPrefixes = []string{
 	"Push", "Record", "Intern", "Marshal",
 }
 
+// IsSinkName reports whether a method name carries an order-sensitive
+// prefix (AddMetric, WriteString, EncodeEntry, …).  Shared with the
+// interprocedural maporder upgrade in internal/lint/parlint, so both
+// passes agree on what counts as an ordered sink.
+func IsSinkName(name string) bool {
+	for _, p := range sinkPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// GlobalRandSafe reports whether a math/rand selector avoids the
+// process-global generator (constructors and types).  Shared with the
+// interprocedural globalrand upgrade in internal/lint/parlint.
+func GlobalRandSafe(name string) bool { return globalRandOK[name] }
+
 // MapOrder flags map-range loops whose iteration order escapes into an
 // ordered sink without a subsequent sort.
 var MapOrder = &lint.Analyzer{
@@ -274,12 +292,7 @@ func isSinkCall(pass *lint.Pass, f *ast.File, sel *ast.SelectorExpr) bool {
 	}
 	// A method call on a value: sink iff the name carries an
 	// order-sensitive prefix (AddMetric, WriteString, EncodeEntry, …).
-	for _, p := range sinkPrefixes {
-		if strings.HasPrefix(name, p) {
-			return true
-		}
-	}
-	return false
+	return IsSinkName(name)
 }
 
 func selString(sel *ast.SelectorExpr) string {

@@ -8,8 +8,8 @@ import (
 )
 
 func bad() float64 {
-	rand.Seed(42) // want "rand.Seed uses the process-global generator"
-	n := rand.Intn(10) // want "rand.Intn uses the process-global generator"
+	rand.Seed(42)                      // want "rand.Seed uses the process-global generator"
+	n := rand.Intn(10)                 // want "rand.Intn uses the process-global generator"
 	return rand.Float64() * float64(n) // want "rand.Float64 uses the process-global generator"
 }
 

@@ -16,7 +16,11 @@ import (
 	"strings"
 )
 
-// Analyzer is one static check.
+// Analyzer is one static check.  A syntactic analyzer sets Run and is
+// applied package by package; an interprocedural analyzer sets
+// RunModule and is applied once to the whole module with the call
+// graph available.  Setting both is allowed (RunModule wins under the
+// module runner).
 type Analyzer struct {
 	// Name identifies the analyzer in output and in suppression
 	// directives ("//detlint:allow <name>").
@@ -24,8 +28,11 @@ type Analyzer struct {
 	// Doc is a one-paragraph description.
 	Doc string
 	// Run applies the check to one package, reporting findings through
-	// pass.Report.
+	// pass.Report.  May be nil for module-only analyzers.
 	Run func(pass *Pass) error
+	// RunModule applies the check to a whole module at once, with the
+	// call graph built.  May be nil for package-local analyzers.
+	RunModule func(pass *ModulePass) error
 }
 
 // Pass carries one package's parsed and type-checked representation
@@ -65,8 +72,24 @@ func (d Diagnostic) String() string {
 }
 
 // Directive is the comment prefix that suppresses findings:
-// "//detlint:allow <analyzer>" on the finding's line or the line above.
+// "//detlint:allow <analyzer...>[: justification]" on the finding's
+// line or the line above.  Everything after the first ':' following
+// the analyzer names is a free-form justification and is not parsed.
 const Directive = "//detlint:allow"
+
+// parseDirective extracts the analyzer names of one allow directive.
+// Returns nil when the comment is not a directive.
+func parseDirective(text string) []string {
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, Directive) {
+		return nil
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, Directive))
+	if i := strings.IndexByte(rest, ':'); i >= 0 {
+		rest = rest[:i]
+	}
+	return strings.Fields(rest)
+}
 
 // Run applies the analyzers to a loaded package and returns the
 // surviving diagnostics sorted by position, with suppression directives
@@ -74,6 +97,9 @@ const Directive = "//detlint:allow"
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue // module-only analyzer; see RunModuleAnalyzers
+		}
 		pass := &Pass{
 			Analyzer:   a,
 			Fset:       pkg.Fset,
@@ -113,13 +139,9 @@ func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimSpace(c.Text)
-				if !strings.HasPrefix(text, Directive) {
-					continue
-				}
-				rest := strings.TrimSpace(strings.TrimPrefix(text, Directive))
+				names := parseDirective(c.Text)
 				pos := pkg.Fset.Position(c.Pos())
-				for _, name := range strings.Fields(rest) {
+				for _, name := range names {
 					allowed[key{pos.Filename, pos.Line, name}] = true
 					allowed[key{pos.Filename, pos.Line + 1, name}] = true
 				}

@@ -15,7 +15,10 @@ import (
 	"repro/internal/lint"
 )
 
-var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+// wantRE accepts both quoting styles of analysistest: double-quoted
+// patterns and backquoted ones (no escaping needed for regexps full of
+// backslashes).
+var wantRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
 
 // expectation is one `// want` pattern with its location.
 type expectation struct {
@@ -54,6 +57,37 @@ func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
 	}
 }
 
+// RunModule loads the module rooted at dir (a testdata mini-module
+// with its own go.mod, typically containing a stub vtime subpackage),
+// runs the analyzers through the module-wide interprocedural runner,
+// and checks the merged diagnostics against // want comments collected
+// from every package of the module.
+func RunModule(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	m, err := lint.LoadModule(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunModuleAnalyzers(m, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var expects []*expectation
+	for _, pkg := range m.Packages {
+		expects = append(expects, collectWants(t, pkg)...)
+	}
+	for _, d := range diags {
+		if !claim(expects, d.Pos, d.Message) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.pattern)
+		}
+	}
+}
+
 func collectWants(t *testing.T, pkg *lint.Package) []*expectation {
 	t.Helper()
 	var out []*expectation
@@ -66,9 +100,13 @@ func collectWants(t *testing.T, pkg *lint.Package) []*expectation {
 				}
 				pos := pkg.Fset.Position(c.Pos())
 				for _, m := range wantRE.FindAllStringSubmatch(text, -1) {
-					re, err := regexp.Compile(m[1])
+					pat := m[1]
+					if m[2] != "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
 					if err != nil {
-						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
 					}
 					out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
 				}

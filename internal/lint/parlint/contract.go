@@ -1,0 +1,165 @@
+package parlint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// StagedMut flags direct kernel mutations reachable from a parallel
+// turn body without the staging API or an Actor.Exclusive guard.
+// Kernel.Post inserts into the global queue, Cond.Signal/Broadcast
+// move waiters immediately — done mid-wave, any of them desynchronises
+// the parallel replay from the sequential kernel.
+var StagedMut = &lint.Analyzer{
+	Name: "stagedmut",
+	Doc:  "flags unstaged kernel mutation (Kernel.Post, Cond.Signal/Broadcast) reachable from a parallel turn body",
+	RunModule: func(pass *lint.ModulePass) error {
+		c := contextOf(pass.Graph)
+		for _, n := range reachedNodes(c.g, c.parReach) {
+			for _, cs := range n.Calls {
+				if c.guarded(n, cs.Site) {
+					continue
+				}
+				recv, name, ok := vtimeFunc(cs.Callee)
+				if !ok {
+					continue
+				}
+				var fix string
+				switch {
+				case recv == "Kernel" && name == "Post":
+					fix = "use Actor.Post, which stages the insertion until commit"
+				case recv == "Cond" && (name == "Signal" || name == "Broadcast"):
+					fix = "use Cond." + name + "From(actor), which stages the wake-up until commit"
+				default:
+					continue
+				}
+				pass.Report(cs.Site,
+					"(*vtime.%s).%s mutates kernel state directly from a parallel turn (via %s); %s, or call Actor.Exclusive first",
+					recv, name, chain(c.parReach, n), fix)
+			}
+		}
+		return nil
+	},
+}
+
+// ExclusiveBefore flags structural kernel mutations — Spawn,
+// SetCapacity, resource attach/detach — on parallel paths not
+// dominated by Actor.Exclusive.  Unlike staged mutations these have no
+// staging variant: they must run on the commit path or in sequential
+// context (a function never reached from a turn entry is proven
+// sequential-only by the call graph and not flagged).
+var ExclusiveBefore = &lint.Analyzer{
+	Name: "exclusive-before",
+	Doc:  "flags Spawn/SetCapacity/attach/detach on parallel paths not dominated by Actor.Exclusive",
+	RunModule: func(pass *lint.ModulePass) error {
+		c := contextOf(pass.Graph)
+		for _, n := range reachedNodes(c.g, c.parReach) {
+			for _, cs := range n.Calls {
+				if c.guarded(n, cs.Site) {
+					continue
+				}
+				recv, name, ok := vtimeFunc(cs.Callee)
+				if !ok {
+					continue
+				}
+				structural := (recv == "Kernel" && name == "Spawn") ||
+					(recv == "Resource" && (name == "SetCapacity" || name == "attach" || name == "detach"))
+				if !structural {
+					continue
+				}
+				pass.Report(cs.Site,
+					"(*vtime.%s).%s restructures the kernel from a parallel turn (via %s) without a dominating Actor.Exclusive",
+					recv, name, chain(c.parReach, n))
+			}
+		}
+		return nil
+	},
+}
+
+// GlobalMut flags writes to package-level variables reachable from a
+// parallel turn body: turn bodies of different domains run
+// concurrently, so such a write is a data race the moment two domains
+// share the variable — a static pre-screen for what -race can only
+// catch when the schedule happens to collide.
+var GlobalMut = &lint.Analyzer{
+	Name: "globalmut",
+	Doc:  "flags writes to package-level state reachable from parallel turn bodies",
+	RunModule: func(pass *lint.ModulePass) error {
+		c := contextOf(pass.Graph)
+		for _, n := range reachedNodes(c.g, c.parReach) {
+			n := n
+			inspectOwn(n, func(nd ast.Node) bool {
+				switch nd := nd.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range nd.Lhs {
+						if c.guarded(n, lhs.Pos()) {
+							continue
+						}
+						if v := packageLevelTarget(n.Pkg, lhs); v != nil {
+							pass.Report(lhs.Pos(),
+								"write to package-level %s.%s from a parallel turn (via %s); move the state into the actor or guard with Actor.Exclusive",
+								v.Pkg().Name(), v.Name(), chain(c.parReach, n))
+						}
+					}
+				case *ast.IncDecStmt:
+					if c.guarded(n, nd.Pos()) {
+						return true
+					}
+					if v := packageLevelTarget(n.Pkg, nd.X); v != nil {
+						pass.Report(nd.Pos(),
+							"write to package-level %s.%s from a parallel turn (via %s); move the state into the actor or guard with Actor.Exclusive",
+							v.Pkg().Name(), v.Name(), chain(c.parReach, n))
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// packageLevelTarget resolves an assignment target to the
+// package-level variable whose storage it writes, or nil.  The walk
+// peels selectors, indexing and derefs down to the root identifier:
+// writing a field or element of a package-level variable mutates
+// shared state just the same.
+func packageLevelTarget(pkg *lint.Package, lhs ast.Expr) *types.Var {
+	for {
+		switch e := ast.Unparen(lhs).(type) {
+		case *ast.SelectorExpr:
+			// Qualified reference to another package's variable: the
+			// root identifier is the package name, the var is the Sel.
+			if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+				if _, isPkg := pkg.Info.Uses[id].(*types.PkgName); isPkg {
+					if v, ok := pkg.Info.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+						return v
+					}
+					return nil
+				}
+			}
+			lhs = e.X
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		case *ast.Ident:
+			obj := pkg.Info.Uses[e]
+			if obj == nil {
+				obj = pkg.Info.Defs[e]
+			}
+			v, ok := obj.(*types.Var)
+			if !ok || v.Pkg() == nil {
+				return nil
+			}
+			// Package-level: declared directly in the package scope.
+			if v.Parent() == v.Pkg().Scope() {
+				return v
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,303 @@
+// Package parlint statically enforces the parallel-kernel staging
+// contract of internal/vtime (PR 7).  The conservative wave scheduler
+// is byte-identical to the sequential kernel only while every turn
+// body obeys rules that otherwise live in comments and runtime panics:
+//
+//   - kernel mutations from a parallel turn must go through the
+//     staging API (Actor.Post, Cond.SignalFrom/BroadcastFrom, staged
+//     Execute/Wait) or run under Actor.Exclusive (stagedmut);
+//   - structural mutations (Kernel.Spawn, Resource.SetCapacity,
+//     attach/detach) must be dominated by Actor.Exclusive or be
+//     sequential-only (exclusive-before);
+//   - Kernel.PinDomain must pair with UnpinDomain on every path,
+//     including early returns and panics (pinpair);
+//   - package-level mutable state must not be written from parallel
+//     turn bodies (globalmut) — a static race pre-screen that
+//     complements -race;
+//
+// plus interprocedural upgrades of detlint's wallclock / globalrand /
+// maporder checks: a helper that wraps time.Now three calls deep is
+// reported at its simulation-context call site, which the syntactic
+// pass cannot see.
+//
+// The analyzers reason over the module-wide call graph (internal/lint):
+// turn entry points are the function values passed to Kernel.Spawn,
+// parallel reachability follows call edges while skipping everything
+// lexically after an Actor.Exclusive call in the same function (the
+// rest of such a turn runs on the sequential commit path), and
+// simulation reachability additionally includes every callback handed
+// to the vtime kernel (Post completions run in kernel context: staging
+// rules do not apply there, but determinism rules still do).  Both
+// traversals are deliberate over-approximations — interface dispatch
+// fans out to every implementing type, function values to everything
+// that flows there — so a clean run is a guarantee, and a false
+// positive is silenced with "//detlint:allow <name>: why".
+//
+// The vtime package itself is exempt: its internals hold the kernel
+// lock by construction and are proven equivalent by the pardiff
+// differential battery, not by this lint.
+package parlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzers is the parallel-contract suite in reporting order.
+func Analyzers() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		StagedMut, ExclusiveBefore, PinPair, GlobalMut,
+		WallclockTaint, GlobalRandTaint, MapOrderTaint,
+	}
+}
+
+// step is one predecessor edge of a reachability traversal.
+type step struct {
+	from *lint.FuncNode
+	site token.Pos
+}
+
+// ctx is the shared context model computed once per call graph.
+type ctx struct {
+	g *lint.CallGraph
+
+	// entries are the turn bodies: function values passed to
+	// (*vtime.Kernel).Spawn anywhere in the module.
+	entries []*lint.FuncNode
+
+	// guards maps each function to the position of its first
+	// Actor.Exclusive call (token.NoPos when it has none).  Everything
+	// lexically after that call runs on the sequential commit path.
+	guards map[*lint.FuncNode]token.Pos
+
+	// parReach maps functions reachable from a turn entry through
+	// unguarded call edges to their predecessor edge (entries map to a
+	// zero step).  These run inside parallel waves.
+	parReach map[*lint.FuncNode]step
+
+	// simReach additionally starts from every callback handed to vtime
+	// (Post completions, Spawn bodies) and ignores Exclusive guards:
+	// everything here executes under simulated time, so determinism
+	// taints (wallclock, globalrand, maporder) apply even where staging
+	// rules do not.
+	simReach map[*lint.FuncNode]step
+}
+
+// ctxCache memoises the context per call graph; the runner executes
+// the suite's analyzers sequentially over one graph.
+var ctxCache = map[*lint.CallGraph]*ctx{}
+
+func contextOf(g *lint.CallGraph) *ctx {
+	if c, ok := ctxCache[g]; ok {
+		return c
+	}
+	c := &ctx{
+		g:        g,
+		guards:   make(map[*lint.FuncNode]token.Pos),
+		parReach: make(map[*lint.FuncNode]step),
+		simReach: make(map[*lint.FuncNode]step),
+	}
+	c.computeGuards()
+	c.computeEntries()
+	c.computeReach()
+	ctxCache[g] = c
+	return c
+}
+
+// isVtimePkg reports whether a package is the kernel package.  Matched
+// by path suffix so linttest corpus modules with a stub vtime
+// subpackage model the real API.
+func isVtimePkg(p *types.Package) bool {
+	if p == nil {
+		return false
+	}
+	path := p.Path()
+	return path == "vtime" || strings.HasSuffix(path, "/vtime")
+}
+
+func isVtimeNode(n *lint.FuncNode) bool {
+	return n.Pkg.Types != nil && isVtimePkg(n.Pkg.Types)
+}
+
+// vtimeFunc matches a callee against the kernel API: it returns the
+// receiver type name ("Kernel", "Actor", "Cond", "Resource"; "" for
+// plain functions) and method name when fn belongs to a vtime package.
+func vtimeFunc(fn *types.Func) (recv, name string, ok bool) {
+	if fn == nil || !isVtimePkg(fn.Pkg()) {
+		return "", "", false
+	}
+	sig, sigOK := fn.Type().(*types.Signature)
+	if !sigOK {
+		return "", "", false
+	}
+	if r := sig.Recv(); r != nil {
+		t := r.Type()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		named, isNamed := t.(*types.Named)
+		if !isNamed {
+			return "", "", false
+		}
+		return named.Obj().Name(), fn.Name(), true
+	}
+	return "", fn.Name(), true
+}
+
+// computeGuards records each function's first Actor.Exclusive call.
+func (c *ctx) computeGuards() {
+	for _, n := range c.g.Nodes {
+		guard := token.NoPos
+		for _, cs := range n.Calls {
+			if recv, name, ok := vtimeFunc(cs.Callee); ok && recv == "Actor" && name == "Exclusive" {
+				guard = cs.Site
+				break
+			}
+		}
+		c.guards[n] = guard
+	}
+}
+
+// guarded reports whether a call site in n runs after the function's
+// Actor.Exclusive call — on the sequential commit path.
+func (c *ctx) guarded(n *lint.FuncNode, site token.Pos) bool {
+	g := c.guards[n]
+	return g != token.NoPos && site > g
+}
+
+// computeEntries collects turn bodies: resolved function values of the
+// second Spawn argument at every Spawn call site outside vtime.
+func (c *ctx) computeEntries() {
+	seen := make(map[*lint.FuncNode]bool)
+	for _, n := range c.g.Nodes {
+		if isVtimeNode(n) {
+			continue
+		}
+		for _, cs := range n.Calls {
+			recv, name, ok := vtimeFunc(cs.Callee)
+			if !ok || recv != "Kernel" || name != "Spawn" || len(cs.Expr.Args) < 2 {
+				continue
+			}
+			for _, t := range c.g.FuncValues(n.Pkg, cs.Expr.Args[1]) {
+				if !seen[t] && !isVtimeNode(t) {
+					seen[t] = true
+					c.entries = append(c.entries, t)
+				}
+			}
+		}
+	}
+	sort.Slice(c.entries, func(i, j int) bool { return c.entries[i].Index < c.entries[j].Index })
+}
+
+// computeReach runs both reachability traversals.
+func (c *ctx) computeReach() {
+	c.bfs(c.entries, c.parReach, true)
+
+	// Simulation roots: turn entries plus every function value passed
+	// to any vtime API call (Post completion callbacks and friends).
+	var simRoots []*lint.FuncNode
+	seen := make(map[*lint.FuncNode]bool)
+	add := func(t *lint.FuncNode) {
+		if !seen[t] && !isVtimeNode(t) {
+			seen[t] = true
+			simRoots = append(simRoots, t)
+		}
+	}
+	for _, e := range c.entries {
+		add(e)
+	}
+	for _, n := range c.g.Nodes {
+		if isVtimeNode(n) {
+			continue
+		}
+		for _, cs := range n.Calls {
+			if _, _, ok := vtimeFunc(cs.Callee); !ok {
+				continue
+			}
+			for _, arg := range cs.Expr.Args {
+				for _, t := range c.g.FuncValues(n.Pkg, arg) {
+					add(t)
+				}
+			}
+		}
+	}
+	sort.Slice(simRoots, func(i, j int) bool { return simRoots[i].Index < simRoots[j].Index })
+	c.bfs(simRoots, c.simReach, false)
+}
+
+// bfs walks call edges from the roots.  Edges into vtime are never
+// followed (the kernel's internals are exempt); with useGuards, edges
+// lexically after the caller's Actor.Exclusive are skipped.
+func (c *ctx) bfs(roots []*lint.FuncNode, reach map[*lint.FuncNode]step, useGuards bool) {
+	queue := make([]*lint.FuncNode, 0, len(roots))
+	for _, r := range roots {
+		if _, ok := reach[r]; !ok {
+			reach[r] = step{}
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, cs := range n.Calls {
+			if useGuards && c.guarded(n, cs.Site) {
+				continue
+			}
+			if _, _, isVtime := vtimeFunc(cs.Callee); isVtime {
+				continue // staging/commit boundary: not a synchronous descent
+			}
+			for _, t := range cs.Targets {
+				if isVtimeNode(t) {
+					continue
+				}
+				if _, ok := reach[t]; !ok {
+					reach[t] = step{from: n, site: cs.Site}
+					queue = append(queue, t)
+				}
+			}
+		}
+	}
+}
+
+// chain renders the witness path from a traversal root to n, e.g.
+// "simmpi.Launch$1 → simmpi.NewTeam".  Cycles cannot occur: reach
+// holds the first (acyclic) predecessor edge of each node.
+func chain(reach map[*lint.FuncNode]step, n *lint.FuncNode) string {
+	var names []string
+	for cur := n; cur != nil; {
+		names = append(names, cur.Name)
+		cur = reach[cur].from
+	}
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return strings.Join(names, " → ")
+}
+
+// reachedNodes returns the reached nodes in deterministic index order,
+// excluding vtime internals.
+func reachedNodes(g *lint.CallGraph, reach map[*lint.FuncNode]step) []*lint.FuncNode {
+	var out []*lint.FuncNode
+	for _, n := range g.Nodes { // Nodes is already in index order
+		if _, ok := reach[n]; ok && !isVtimeNode(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// inspectOwn walks a node's own body, skipping nested function
+// literals (they are their own nodes).
+func inspectOwn(n *lint.FuncNode, fn func(ast.Node) bool) {
+	ast.Inspect(n.Body(), func(nd ast.Node) bool {
+		if _, isLit := nd.(*ast.FuncLit); isLit {
+			return false
+		}
+		return fn(nd)
+	})
+}

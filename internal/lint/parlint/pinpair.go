@@ -1,0 +1,346 @@
+package parlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint"
+)
+
+// PinPair flags Kernel.PinDomain calls not matched by an UnpinDomain
+// on every path out of the function — early returns, panics and loop
+// bodies included.  A leaked pin silently serialises the pinned domain
+// onto the commit path for the rest of the run, which is a performance
+// bug the differential battery cannot see (results stay identical,
+// waves just shrink).  The check is a structured lock-pairing walk per
+// function: it does not attempt cross-function pairing, so helpers
+// that intentionally split the pair (a pin helper and an unpin helper)
+// carry a "//detlint:allow pinpair" with the pairing argument.
+//
+// Only the leak direction is flagged: an unpin without a prior pin
+// panics at runtime on the first execution, needing no lint.
+var PinPair = &lint.Analyzer{
+	Name: "pinpair",
+	Doc:  "flags PinDomain calls not paired with UnpinDomain on every path out of the function",
+	RunModule: func(pass *lint.ModulePass) error {
+		for _, n := range pass.Graph.Nodes {
+			if isVtimeNode(n) {
+				continue
+			}
+			w := &pinWalker{pkg: n.Pkg, g: pass.Graph}
+			w.deferred = w.countDeferredUnpins(n.Body())
+			exit := w.walkStmt(n.Body(), nil)
+			w.leak(exit, "function end")
+			sites := make([]token.Pos, 0, len(w.leaks))
+			for pos := range w.leaks {
+				sites = append(sites, pos)
+			}
+			sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+			for _, pos := range sites {
+				pass.Report(pos, "PinDomain is not released by UnpinDomain on every path (leaks at %s); pair it, or defer the unpin", w.leaks[pos])
+			}
+		}
+		return nil
+	},
+}
+
+// pinWalker simulates a function's pin/unpin balance along structured
+// control flow.  The open-pin state is a stack of PinDomain call
+// positions; branches fork the stack and merge by union (a pin open on
+// any branch is open afterwards), so balanced code merges clean and a
+// conditional pin is tracked to every exit.
+type pinWalker struct {
+	pkg      *lint.Package
+	g        *lint.CallGraph
+	deferred int                  // UnpinDomain calls registered via defer
+	leaks    map[token.Pos]string // pin site -> first leaking exit kind
+}
+
+// leak reports the unmatched head of an open-pin stack at one exit.
+// Deferred unpins discharge the most recent pins (LIFO), so the
+// earliest pins are the ones left open.
+func (w *pinWalker) leak(open []token.Pos, where string) {
+	unmatched := len(open) - w.deferred
+	if unmatched <= 0 {
+		return
+	}
+	if w.leaks == nil {
+		w.leaks = make(map[token.Pos]string)
+	}
+	for _, pos := range open[:unmatched] {
+		if _, dup := w.leaks[pos]; !dup {
+			w.leaks[pos] = where
+		}
+	}
+}
+
+// countDeferredUnpins counts UnpinDomain calls inside defer statements,
+// including deferred function literals.
+func (w *pinWalker) countDeferredUnpins(body *ast.BlockStmt) int {
+	count := 0
+	ast.Inspect(body, func(nd ast.Node) bool {
+		d, ok := nd.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if w.isPinCall(d.Call) == pinUnpin {
+			count++
+		}
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(inner ast.Node) bool {
+				if c, ok := inner.(*ast.CallExpr); ok && w.isPinCall(c) == pinUnpin {
+					count++
+				}
+				return true
+			})
+		}
+		return false
+	})
+	return count
+}
+
+type pinKind int
+
+const (
+	pinNone pinKind = iota
+	pinPin
+	pinUnpin
+)
+
+// isPinCall classifies a call expression against the pin API.
+func (w *pinWalker) isPinCall(call *ast.CallExpr) pinKind {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return pinNone
+	}
+	fn, _ := w.pkg.Info.Uses[sel.Sel].(*types.Func)
+	recv, name, okf := vtimeFunc(fn)
+	if !okf || recv != "Kernel" {
+		return pinNone
+	}
+	switch name {
+	case "PinDomain":
+		return pinPin
+	case "UnpinDomain":
+		return pinUnpin
+	}
+	return pinNone
+}
+
+// scanExprs applies pin/unpin calls appearing in an expression (in
+// position order), skipping function literals.
+func (w *pinWalker) scanExprs(nd ast.Node, open []token.Pos) []token.Pos {
+	if nd == nil {
+		return open
+	}
+	ast.Inspect(nd, func(inner ast.Node) bool {
+		if _, isLit := inner.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := inner.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch w.isPinCall(call) {
+		case pinPin:
+			open = append(open, call.Pos())
+		case pinUnpin:
+			if len(open) > 0 {
+				open = open[:len(open)-1]
+			}
+		}
+		return true
+	})
+	return open
+}
+
+// endsPath reports whether a statement unconditionally leaves the
+// function (return or panic).
+func endsPath(s ast.Stmt) (bool, string) {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true, "return"
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true, "panic"
+			}
+		}
+	}
+	return false, ""
+}
+
+// walkStmt advances the open-pin stack through one statement and
+// returns the state after it.  A nil return means the path ended
+// (return/panic) — leaks were already recorded.
+func (w *pinWalker) walkStmt(s ast.Stmt, open []token.Pos) []token.Pos {
+	switch s := s.(type) {
+	case nil:
+		return open
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			open = w.walkStmt(st, open)
+			if open == nil {
+				return nil
+			}
+		}
+		return orEmpty(open)
+	case *ast.IfStmt:
+		open = w.scanExprs(s.Init, open)
+		open = w.scanExprs(s.Cond, open)
+		then := w.walkStmt(s.Body, cloneStack(open))
+		els := w.walkStmt(s.Else, cloneStack(open))
+		if s.Else == nil {
+			els = cloneStack(open)
+		}
+		return mergeStacks(then, els)
+	case *ast.ForStmt:
+		open = w.scanExprs(s.Init, open)
+		open = w.scanExprs(s.Cond, open)
+		w.loopBody(s.Body, open)
+		return orEmpty(open)
+	case *ast.RangeStmt:
+		open = w.scanExprs(s.X, open)
+		w.loopBody(s.Body, open)
+		return orEmpty(open)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.walkCases(s, open)
+	case *ast.ReturnStmt:
+		open = w.scanExprs(s, open)
+		w.leak(open, "return")
+		return nil
+	case *ast.DeferStmt:
+		return orEmpty(open) // handled by countDeferredUnpins
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, open)
+	default:
+		if ends, kind := endsPath(s); ends {
+			w.leak(open, kind)
+			return nil
+		}
+		return orEmpty(w.scanExprs(s, open))
+	}
+}
+
+// loopBody walks a loop body from the loop-entry state and reports
+// pins opened inside the body that survive to its end: they would
+// accumulate across iterations.
+func (w *pinWalker) loopBody(body *ast.BlockStmt, entry []token.Pos) {
+	after := w.walkStmt(body, cloneStack(entry))
+	if after == nil {
+		return // every iteration path returns/panics; leaks recorded there
+	}
+	if len(after) > len(entry) {
+		w.leak(after[len(entry):], "end of loop body")
+	}
+}
+
+// walkCases forks the stack per case clause and merges by union.
+func (w *pinWalker) walkCases(s ast.Stmt, open []token.Pos) []token.Pos {
+	var body *ast.BlockStmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		open = w.scanExprs(s.Init, open)
+		open = w.scanExprs(s.Tag, open)
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		open = w.scanExprs(s.Init, open)
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	var merged []token.Pos
+	ended := true
+	hasDefault := false
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				open = w.scanExprs(e, open)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			}
+			stmts = cl.Body
+		}
+		st := cloneStack(open)
+		for _, inner := range stmts {
+			st = w.walkStmt(inner, st)
+			if st == nil {
+				break
+			}
+		}
+		if st != nil {
+			merged = mergeStacks(merged, st)
+			ended = false
+		}
+	}
+	if !hasDefault {
+		// No default: the whole switch may be skipped.
+		merged = mergeStacks(merged, cloneStack(open))
+		ended = false
+	}
+	if ended && len(body.List) > 0 {
+		return nil
+	}
+	if merged == nil {
+		merged = cloneStack(open)
+	}
+	return orEmpty(merged)
+}
+
+// cloneStack copies an open-pin stack (nil means "path ended", so the
+// clone of an empty stack must stay non-nil).
+func cloneStack(s []token.Pos) []token.Pos {
+	out := make([]token.Pos, len(s))
+	copy(out, s)
+	return out
+}
+
+// mergeStacks unions two branch outcomes.  A pin open on either branch
+// is treated as open afterwards; nil (path ended) defers to the other.
+func mergeStacks(a, b []token.Pos) []token.Pos {
+	if a == nil {
+		return orEmptyNil(b)
+	}
+	if b == nil {
+		return orEmpty(a)
+	}
+	seen := make(map[token.Pos]bool, len(a))
+	out := append([]token.Pos(nil), a...)
+	for _, p := range a {
+		seen[p] = true
+	}
+	for _, p := range b {
+		if !seen[p] {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return orEmpty(out)
+}
+
+// orEmpty keeps a live path distinguishable from an ended one: walkStmt
+// signals "path ended" with nil, so an empty-but-live stack must be a
+// non-nil empty slice.
+func orEmpty(s []token.Pos) []token.Pos {
+	if s == nil {
+		return []token.Pos{}
+	}
+	return s
+}
+
+func orEmptyNil(s []token.Pos) []token.Pos {
+	if s == nil {
+		return nil
+	}
+	return orEmpty(s)
+}

@@ -1,0 +1,30 @@
+// Package excl exercises exclusive-before: structural kernel
+// mutations (Spawn, SetCapacity) on parallel paths must be dominated
+// by Actor.Exclusive; sequential-only callers are proven safe by the
+// call graph and stay clean.
+package excl
+
+import "contract.example/vtime"
+
+func Run(k *vtime.Kernel) {
+	res := k.NewResource("r", 1)
+
+	k.Spawn("bad", func(a *vtime.Actor) {
+		k.Spawn("child", func(b *vtime.Actor) {}) // want `\(\*vtime\.Kernel\)\.Spawn restructures the kernel from a parallel turn`
+		res.SetCapacity(2)                        // want `\(\*vtime\.Resource\)\.SetCapacity restructures the kernel from a parallel turn`
+	})
+
+	k.Spawn("good", func(a *vtime.Actor) {
+		a.Exclusive()
+		k.Spawn("child2", func(b *vtime.Actor) {}) // dominated by Exclusive: clean
+		res.SetCapacity(3)                         // dominated by Exclusive: clean
+	})
+
+	// Sequential-only helper: never reached from a turn entry, so its
+	// Spawn needs no guard.
+	seqOnly(k)
+}
+
+func seqOnly(k *vtime.Kernel) {
+	k.Spawn("init", func(a *vtime.Actor) {})
+}

@@ -1,0 +1,3 @@
+module contract.example
+
+go 1.22

@@ -1,0 +1,21 @@
+// Package hidden is the seeded acceptance case: a kernel mutation two
+// helper calls below a turn body.  The interprocedural suite follows
+// turn → level1 → level2 and reports the Post; the PR 3 syntactic
+// suite finds nothing here (asserted in parlint_test.go), because no
+// single function syntactically contains both the turn context and
+// the mutation.
+package hidden
+
+import "contract.example/vtime"
+
+func Run(k *vtime.Kernel) {
+	k.Spawn("t", func(a *vtime.Actor) {
+		level1(k)
+	})
+}
+
+func level1(k *vtime.Kernel) { level2(k) }
+
+func level2(k *vtime.Kernel) {
+	k.Post(vtime.Action{}, func() {}) // want `\(\*vtime\.Kernel\)\.Post mutates kernel state directly from a parallel turn \(via hidden\.Run\$1 → hidden\.level1 → hidden\.level2\)`
+}

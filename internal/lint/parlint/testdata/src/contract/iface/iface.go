@@ -1,0 +1,29 @@
+// Package iface exercises the interface-dispatch over-approximation:
+// a call through an interface inside a turn body reaches every
+// implementing type in the module, so a mutating implementation is
+// flagged even though the dynamic type at run time might be the clean
+// one — soundness over precision.
+package iface
+
+import "contract.example/vtime"
+
+// Mutator is dispatched from inside a turn body.
+type Mutator interface{ Mutate() }
+
+// Direct mutates the kernel without staging.
+type Direct struct{ K *vtime.Kernel }
+
+func (d *Direct) Mutate() {
+	d.K.Post(vtime.Action{}, func() {}) // want `\(\*vtime\.Kernel\)\.Post mutates kernel state directly from a parallel turn \(via iface\.Run\$1 → \(iface\.Direct\)\.Mutate\)`
+}
+
+// Clean touches nothing.
+type Clean struct{}
+
+func (Clean) Mutate() {}
+
+func Run(k *vtime.Kernel, m Mutator) {
+	k.Spawn("t", func(a *vtime.Actor) {
+		m.Mutate()
+	})
+}

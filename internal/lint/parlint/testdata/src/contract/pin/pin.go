@@ -1,0 +1,64 @@
+// Package pin exercises pinpair: PinDomain must meet an UnpinDomain
+// on every path out of the function — early returns, panics and loop
+// bodies included; a deferred unpin pairs every path at once.
+package pin
+
+import "contract.example/vtime"
+
+func Run(k *vtime.Kernel, doms []int, cond bool) {
+	balanced(k)
+	leakEarly(k, cond)
+	deferredUnpin(k, cond)
+	loopLeak(k, doms)
+	panicLeak(k, cond)
+	branchBalanced(k, cond)
+}
+
+func balanced(k *vtime.Kernel) {
+	k.PinDomain(0)
+	work()
+	k.UnpinDomain(0)
+}
+
+func leakEarly(k *vtime.Kernel, cond bool) {
+	k.PinDomain(1) // want `PinDomain is not released by UnpinDomain on every path \(leaks at return\)`
+	if cond {
+		return
+	}
+	k.UnpinDomain(1)
+}
+
+func deferredUnpin(k *vtime.Kernel, cond bool) {
+	k.PinDomain(2)
+	defer k.UnpinDomain(2)
+	if cond {
+		return // deferred unpin covers this exit: clean
+	}
+	work()
+}
+
+func loopLeak(k *vtime.Kernel, doms []int) {
+	for _, d := range doms {
+		k.PinDomain(d) // want `PinDomain is not released by UnpinDomain on every path \(leaks at end of loop body\)`
+	}
+}
+
+func panicLeak(k *vtime.Kernel, ok bool) {
+	k.PinDomain(3) // want `PinDomain is not released by UnpinDomain on every path \(leaks at panic\)`
+	if !ok {
+		panic("invariant broken with the pin still held")
+	}
+	k.UnpinDomain(3)
+}
+
+func branchBalanced(k *vtime.Kernel, cond bool) {
+	k.PinDomain(4)
+	if cond {
+		work()
+	} else {
+		work()
+	}
+	k.UnpinDomain(4) // both branches merge balanced: clean
+}
+
+func work() {}

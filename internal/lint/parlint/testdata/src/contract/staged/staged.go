@@ -1,0 +1,46 @@
+// Package staged exercises stagedmut and globalmut: direct kernel
+// mutation and package-level writes from parallel turn bodies, against
+// their staged / guarded / sequential counterparts.
+package staged
+
+import "contract.example/vtime"
+
+var counter int
+
+func Run(k *vtime.Kernel) {
+	c := k.NewCond("c")
+
+	k.Spawn("bad", func(a *vtime.Actor) {
+		k.Post(vtime.Action{}, func() {}) // want `\(\*vtime\.Kernel\)\.Post mutates kernel state directly from a parallel turn`
+		c.Signal()                        // want `\(\*vtime\.Cond\)\.Signal mutates kernel state directly from a parallel turn`
+		counter++                         // want `write to package-level staged\.counter from a parallel turn`
+	})
+
+	k.Spawn("helper", func(a *vtime.Actor) {
+		wake(c)
+	})
+
+	k.Spawn("good", func(a *vtime.Actor) {
+		a.Post(vtime.Action{}, func() {}) // staged insertion: clean
+		c.SignalFrom(a)                   // staged wake-up: clean
+		c.Wait(a)                         // staged by the kernel: clean
+	})
+
+	k.Spawn("guarded", func(a *vtime.Actor) {
+		a.Exclusive()
+		k.Post(vtime.Action{}, func() {}) // after Exclusive: commit path, clean
+		counter++                         // after Exclusive: commit path, clean
+	})
+
+	// Sequential context: Run is not a turn body, so direct mutation
+	// here is legal.
+	k.Post(vtime.Action{}, func() {})
+	counter = 0
+}
+
+// wake is one helper level below the turn body: the syntactic pass
+// sees nothing wrong in the turn, the interprocedural pass follows the
+// edge and reports the Broadcast here with a witness chain.
+func wake(c *vtime.Cond) {
+	c.Broadcast() // want `\(\*vtime\.Cond\)\.Broadcast mutates kernel state directly from a parallel turn \(via staged\.Run\$2 → staged\.wake\)`
+}

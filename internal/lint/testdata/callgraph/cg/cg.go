@@ -1,0 +1,52 @@
+// Package cg is the call-graph construction corpus: one specimen per
+// resolution rule (static, interface dispatch, function values through
+// locals, escape through returns, mutual recursion for SCCs).
+package cg
+
+// Doer is implemented by X (value receiver) and Y (pointer receiver).
+type Doer interface{ Do() }
+
+type X struct{}
+
+func (X) Do() {}
+
+type Y struct{}
+
+func (*Y) Do() {}
+
+// CallIface dispatches through the interface: the graph must edge to
+// both implementations.
+func CallIface(d Doer) { d.Do() }
+
+// Static calls helper directly.
+func Static() { helper() }
+
+func helper() {}
+
+// Dynamic calls helper through a local function value.
+func Dynamic() {
+	f := helper
+	f()
+}
+
+// TwoLevel receives a function value out of a call result — untracked,
+// so it resolves through the escaped pool, which pick's return feeds.
+func TwoLevel() {
+	g := pick()
+	g()
+}
+
+func pick() func() { return helper }
+
+// Mutual recursion: one SCC holding both.
+func Ping(n int) {
+	if n > 0 {
+		Pong(n - 1)
+	}
+}
+
+func Pong(n int) {
+	if n > 0 {
+		Ping(n - 1)
+	}
+}

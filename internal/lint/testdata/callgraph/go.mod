@@ -1,0 +1,3 @@
+module cg.example
+
+go 1.22

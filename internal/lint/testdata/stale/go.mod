@@ -1,0 +1,3 @@
+module stale.example
+
+go 1.22

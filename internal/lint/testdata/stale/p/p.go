@@ -1,0 +1,11 @@
+// Package p is the unusedallow corpus: one live directive (it
+// suppresses a real wallclock finding) and one stale directive (the
+// line it guards triggers nothing).
+package p
+
+import "time"
+
+var now = time.Now //detlint:allow wallclock: injectable clock for tests
+
+//detlint:allow maporder: stale — nothing on the next line ranges a map
+var limit = 3

@@ -167,8 +167,8 @@ func (w *World) sameDomain(a, b int) bool {
 // force when it matters.  Callers guard with sameDomain, which also
 // covers the sequential (nil domains) case.
 func (w *World) pinRendezvous(src, dst int) {
-	w.K.PinDomain(w.domains[src])
-	w.K.PinDomain(w.domains[dst])
+	w.K.PinDomain(w.domains[src]) //detlint:allow pinpair: pair split across helpers; unpinRendezvous releases at match
+	w.K.PinDomain(w.domains[dst]) //detlint:allow pinpair: pair split across helpers; unpinRendezvous releases at match
 }
 
 // unpinRendezvous releases pinRendezvous once the match has consumed
@@ -211,7 +211,7 @@ func (w *World) PinRankMemory(r int) {
 		}
 		w.numaPinned[numa] = true
 		for _, d := range doms {
-			w.K.PinDomain(d)
+			w.K.PinDomain(d) //detlint:allow pinpair: deliberately permanent — shared-NUMA domains stay on the commit path for the whole run
 		}
 	}
 }

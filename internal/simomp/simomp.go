@@ -112,6 +112,7 @@ func NewTeam(k *vtime.Kernel, locs []*loc.Location, costs Costs) *Team {
 	for i := 1; i < t.size; i++ {
 		i := i
 		name := fmt.Sprintf("omp-worker-r%d-t%d", locs[i].Rank, i)
+		//detlint:allow exclusive-before: NewTeam runs in each rank's first turn, which the kernel executes inline (sequential) by policy
 		locs[i].Actor = k.Spawn(name, func(a *vtime.Actor) {
 			locs[i].Actor = a
 			t.workerLoop(a, i)
