@@ -23,6 +23,7 @@ import (
 	"repro/internal/measure"
 	"repro/internal/noise"
 	"repro/internal/profiling"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -38,7 +39,8 @@ func main() {
 		`deterministic fault plan, e.g. "oneoff:rank=2,at=0.01,delay=0.005;straggler:rank=0,factor=1.5"`)
 	kernelPar := flag.Int("kernel-par", 1,
 		"kernel worker goroutines for the conservative parallel event loop (1 = sequential; results are byte-identical)")
-	traceOut := flag.String("trace", "", "write the binary trace here")
+	traceOut := flag.String("trace", "", "write the binary trace here (chunked compressed format)")
+	traceV1 := flag.Bool("trace-v1", false, "write the trace in the legacy monolithic version-1 format")
 	profOut := flag.String("profile", "", "write the analysis profile (JSON) here")
 	list := flag.Bool("list", false, "list configurations and exit")
 	prof := profiling.AddFlags()
@@ -95,8 +97,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := res.Trace.Write(f); err != nil {
-			log.Fatal(err)
+		werr := error(nil)
+		if *traceV1 {
+			werr = res.Trace.Write(f)
+		} else {
+			werr = trace.WriteChunked(f, res.Trace)
+		}
+		if werr != nil {
+			log.Fatal(werr)
 		}
 		if err := f.Close(); err != nil {
 			log.Fatal(err)

@@ -5,6 +5,13 @@
 //
 //	ltviz run.ltrc                     # JSON to stdout
 //	ltviz -o run.json run.ltrc         # JSON to a file
+//	ltviz -range 1000:2000 run.ltrc    # only events with vtime in [1000, 2000]
+//
+// -range answers virtual-time window queries.  On chunked (version-2)
+// trace files it consults the trailing chunk index and decompresses
+// only the chunks overlapping the window — an O(log n) seek rather than
+// a full-file read; monolithic version-1 files are filtered after a
+// full read.
 //
 // Given -spec, it runs the configuration in-process and exports the
 // resulting trace together with the run's machine timeline — fault
@@ -59,7 +66,16 @@ func main() {
 	noNoise := flag.Bool("no-noise", false, "disable all noise sources in -spec runs")
 	faultSpec := flag.String("faults", "", `fault plan for -spec runs, e.g. "oneoff:rank=2,at=0.01,delay=0.005"`)
 	front := flag.Bool("front", false, "overlay the delay front from a matching baseline run (needs -spec and -faults)")
+	rng := flag.String("range", "", `export only events with vtime in "min:max" (chunked traces seek via the index)`)
 	flag.Parse()
+
+	minT, maxT, haveRange, err := parseRange(*rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if haveRange && *spec != "" {
+		log.Fatal("-range applies to trace files, not -spec runs")
+	}
 
 	if *front && (*spec == "" || *faultSpec == "") {
 		log.Fatal("-front needs both -spec and -faults: the overlay diffs a faulted run against its baseline")
@@ -84,7 +100,7 @@ func main() {
 		log.Fatal("-o takes a single trace file; omit it to write per-input .json files")
 	}
 	for _, path := range flag.Args() {
-		tr, err := trace.ReadFile(path)
+		st, err := openStream(path, minT, maxT, haveRange)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -92,13 +108,63 @@ func main() {
 		if flag.NArg() > 1 {
 			dst = path + ".json"
 		}
-		if err := writeJSON(dst, tr, nil); err != nil {
+		if err := writeStreamJSON(dst, st, nil); err != nil {
 			log.Fatal(err)
 		}
 		if dst != "" {
-			fmt.Fprintf(os.Stderr, "ltviz: %s -> %s (%d events)\n", path, dst, tr.NumEvents())
+			if haveRange {
+				// A ranged chunked stream reports the overlapping chunks'
+				// totals, an upper bound on what the window exports.
+				fmt.Fprintf(os.Stderr, "ltviz: %s -> %s (<= %d events in range)\n", path, dst, st.NumEvents())
+			} else {
+				fmt.Fprintf(os.Stderr, "ltviz: %s -> %s (%d events)\n", path, dst, st.NumEvents())
+			}
 		}
 	}
+}
+
+// parseRange parses the -range "min:max" virtual-time window.
+func parseRange(s string) (minT, maxT uint64, ok bool, err error) {
+	if s == "" {
+		return 0, 0, false, nil
+	}
+	var lo, hi uint64
+	if _, err := fmt.Sscanf(s, "%d:%d", &lo, &hi); err != nil {
+		return 0, 0, false, fmt.Errorf(`-range wants "min:max" (vtime ticks): %v`, err)
+	}
+	if hi < lo {
+		return 0, 0, false, fmt.Errorf("-range: max %d below min %d", hi, lo)
+	}
+	return lo, hi, true, nil
+}
+
+// openStream opens a trace file as a stream, restricted to the vtime
+// window when one was given.  Chunked files serve the window from the
+// chunk index; version-1 files fall back to a filtered full read.
+func openStream(path string, minT, maxT uint64, bounded bool) (*trace.Stream, error) {
+	cf, cerr := trace.OpenChunkFile(path)
+	if cerr == nil {
+		if bounded {
+			return cf.Range(minT, maxT), nil
+		}
+		return cf.Stream(), nil
+	}
+	tr, err := trace.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if bounded {
+		for li := range tr.Locs {
+			kept := tr.Locs[li].Events[:0]
+			for _, e := range tr.Locs[li].Events {
+				if e.Time >= minT && e.Time <= maxT {
+					kept = append(kept, e)
+				}
+			}
+			tr.Locs[li].Events = kept
+		}
+	}
+	return trace.StreamTrace(tr), nil
 }
 
 // runSpec executes one configuration in-process with a timeline
@@ -178,6 +244,10 @@ func overlayFront(tl *obs.Timeline, sp experiment.Spec, cfg measure.Config, seed
 
 // writeJSON exports to the given path, or stdout when path is empty.
 func writeJSON(path string, tr *trace.Trace, tl *obs.Timeline) error {
+	return writeStreamJSON(path, trace.StreamTrace(tr), tl)
+}
+
+func writeStreamJSON(path string, st *trace.Stream, tl *obs.Timeline) error {
 	var w io.Writer = os.Stdout
 	if path != "" {
 		f, err := os.Create(path)
@@ -187,5 +257,5 @@ func writeJSON(path string, tr *trace.Trace, tl *obs.Timeline) error {
 		defer f.Close()
 		w = f
 	}
-	return perfetto.Export(w, tr, tl)
+	return perfetto.ExportStream(w, st, tl)
 }

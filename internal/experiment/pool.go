@@ -36,7 +36,7 @@ import (
 // noise model, mini-apps or analyzer alters what any (spec, mode, seed,
 // config) job produces; stale entries then miss instead of resurfacing
 // results the current code would not compute.
-const cacheCodeVersion = "repro-sim-2"
+const cacheCodeVersion = "repro-sim-3"
 
 // Job is one self-describing unit of a study's grid: which configuration
 // to run, with which options, and where the result goes.

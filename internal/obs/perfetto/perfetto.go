@@ -86,45 +86,64 @@ type flowKey struct {
 // (location, record) order starting at 1; a receive adopts the id of
 // the oldest unconsumed send on its (src, dst, tag) channel.  The
 // returned map is keyed by (location index, event index); unmatched
-// receives are absent (rendered as plain instants).
-func matchFlows(tr *trace.Trace) map[[2]int]int {
+// receives are absent (rendered as plain instants).  It costs one extra
+// pass over the stream (cursors are re-opened for the emission pass),
+// holding only the send/receive correlation in memory.
+func matchFlows(st *trace.Stream) (map[[2]int]int, error) {
 	ids := make(map[[2]int]int)
 	queues := make(map[flowKey][]int)
 	next := 1
-	for li := range tr.Locs {
-		lt := &tr.Locs[li]
-		for ei := range lt.Events {
-			e := &lt.Events[ei]
-			if e.Kind != trace.EvSend {
-				continue
+	for li := 0; li < st.NumLocs(); li++ {
+		l := st.Loc(li)
+		cur := st.Cursor(li)
+		ei := 0
+		for e, ok := cur.Next(); ok; e, ok = cur.Next() {
+			if e.Kind == trace.EvSend {
+				k := flowKey{src: int32(l.Rank), dst: e.A, tag: e.B}
+				ids[[2]int{li, ei}] = next
+				queues[k] = append(queues[k], next)
+				next++
 			}
-			k := flowKey{src: int32(lt.Rank), dst: e.A, tag: e.B}
-			ids[[2]int{li, ei}] = next
-			queues[k] = append(queues[k], next)
-			next++
+			ei++
+		}
+		if err := cur.Err(); err != nil {
+			return nil, fmt.Errorf("perfetto: loc %d: %w", li, err)
 		}
 	}
-	for li := range tr.Locs {
-		lt := &tr.Locs[li]
-		for ei := range lt.Events {
-			e := &lt.Events[ei]
-			if e.Kind != trace.EvRecv {
-				continue
+	for li := 0; li < st.NumLocs(); li++ {
+		l := st.Loc(li)
+		cur := st.Cursor(li)
+		ei := 0
+		for e, ok := cur.Next(); ok; e, ok = cur.Next() {
+			if e.Kind == trace.EvRecv {
+				k := flowKey{src: e.A, dst: int32(l.Rank), tag: e.B}
+				if q := queues[k]; len(q) > 0 {
+					ids[[2]int{li, ei}] = q[0]
+					queues[k] = q[1:]
+				}
 			}
-			k := flowKey{src: e.A, dst: int32(lt.Rank), tag: e.B}
-			if q := queues[k]; len(q) > 0 {
-				ids[[2]int{li, ei}] = q[0]
-				queues[k] = q[1:]
-			}
+			ei++
+		}
+		if err := cur.Err(); err != nil {
+			return nil, fmt.Errorf("perfetto: loc %d: %w", li, err)
 		}
 	}
-	return ids
+	return ids, nil
 }
 
 // Export writes tr (and, when non-nil, the timeline's annotations) as
 // trace-event JSON.  See the package comment for the mapping and the
-// determinism guarantees.
+// determinism guarantees.  It is ExportStream over the in-memory trace,
+// so both paths emit identical bytes.
 func Export(w io.Writer, tr *trace.Trace, tl *obs.Timeline) error {
+	return ExportStream(w, trace.StreamTrace(tr), tl)
+}
+
+// ExportStream writes a trace stream as trace-event JSON.  It makes two
+// passes over the stream — one to correlate message flows, one to emit —
+// re-opening the per-location cursors in between, so a chunked on-disk
+// trace exports holding one chunk window plus the flow-id map in memory.
+func ExportStream(w io.Writer, st *trace.Stream, tl *obs.Timeline) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
 		return err
@@ -147,19 +166,19 @@ func Export(w io.Writer, tr *trace.Trace, tl *obs.Timeline) error {
 
 	// Metadata: name every rank process and thread, then the synthetic
 	// machine process.
-	for li := range tr.Locs {
-		lt := &tr.Locs[li]
-		if lt.Thread == 0 {
+	for li := 0; li < st.NumLocs(); li++ {
+		l := st.Loc(li)
+		if l.Thread == 0 {
 			if err := emit(event{
-				Args: map[string]any{"name": fmt.Sprintf("rank %d", lt.Rank)},
-				Name: "process_name", Ph: "M", Pid: lt.Rank,
+				Args: map[string]any{"name": fmt.Sprintf("rank %d", l.Rank)},
+				Name: "process_name", Ph: "M", Pid: l.Rank,
 			}); err != nil {
 				return err
 			}
 		}
 		if err := emit(event{
-			Args: map[string]any{"name": fmt.Sprintf("thread %d", lt.Thread)},
-			Name: "thread_name", Ph: "M", Pid: lt.Rank, Tid: lt.Thread,
+			Args: map[string]any{"name": fmt.Sprintf("thread %d", l.Thread)},
+			Name: "thread_name", Ph: "M", Pid: l.Rank, Tid: l.Thread,
 		}); err != nil {
 			return err
 		}
@@ -175,27 +194,32 @@ func Export(w io.Writer, tr *trace.Trace, tl *obs.Timeline) error {
 	}
 
 	// Event streams, in location then record order.
-	scale := tickMicros(tr.Clock)
-	logical := strings.HasPrefix(tr.Clock, "lt_")
-	flows := matchFlows(tr)
-	for li := range tr.Locs {
-		lt := &tr.Locs[li]
-		for ei := range lt.Events {
-			e := &lt.Events[ei]
+	scale := tickMicros(st.Clock)
+	logical := strings.HasPrefix(st.Clock, "lt_")
+	flows, err := matchFlows(st)
+	if err != nil {
+		return err
+	}
+	for li := 0; li < st.NumLocs(); li++ {
+		l := st.Loc(li)
+		cur := st.Cursor(li)
+		ei := -1
+		for e, ok := cur.Next(); ok; e, ok = cur.Next() {
+			ei++
 			ts := float64(e.Time) * scale
-			base := event{Pid: lt.Rank, Tid: lt.Thread, Ts: ts}
+			base := event{Pid: l.Rank, Tid: l.Thread, Ts: ts}
 			var out event
 			switch e.Kind {
 			case trace.EvEnter:
 				out = base
 				out.Ph = "B"
-				out.Name = tr.RegionName(e.Region)
-				out.Cat = tr.Regions[e.Region].Role.String()
+				out.Name = st.Regions[e.Region].Name
+				out.Cat = st.Regions[e.Region].Role.String()
 			case trace.EvExit:
 				out = base
 				out.Ph = "E"
-				out.Name = tr.RegionName(e.Region)
-				out.Cat = tr.Regions[e.Region].Role.String()
+				out.Name = st.Regions[e.Region].Name
+				out.Cat = st.Regions[e.Region].Role.String()
 			case trace.EvSend:
 				out = base
 				out.Ph = "s"
@@ -268,6 +292,9 @@ func Export(w io.Writer, tr *trace.Trace, tl *obs.Timeline) error {
 			if err := emit(out); err != nil {
 				return err
 			}
+		}
+		if err := cur.Err(); err != nil {
+			return fmt.Errorf("perfetto: loc %d: %w", li, err)
 		}
 	}
 

@@ -191,14 +191,18 @@ func (c *Cache) Put(key Key, e *Entry) error {
 //	applied-fault count, then per event: kind string, rank varint,
 //	  core varint, resource string, at f64, magnitude f64   (version 2+)
 //	flags byte (bit 0: trace present, bit 1: profile present)
-//	if trace:   uvarint byte length + LTRC stream (trace.Write)
+//	if trace:   uvarint byte length + LTRC stream (chunked version-2
+//	  format, trace.WriteChunked; trace.Read handles both versions)
 //	if profile: uvarint byte length + cube JSON (cube/Profile.Write)
 //
-// Version history: 2 added the applied-fault log.  Version-1 entries
-// decode as a miss (by design: a pre-log binary cannot know what fired).
+// Version history: 2 added the applied-fault log; 3 switched the trace
+// blob to the chunked compressed format.  Older entries decode as a
+// miss (by design: a pre-log binary cannot know what fired, and the
+// version bump keeps cache files self-describing across the format
+// change).
 const (
 	entryMagic   = "LTRR"
-	entryVersion = 2
+	entryVersion = 3
 )
 
 // Sanity caps, mirroring internal/trace's reader hardening: a corrupted
@@ -275,7 +279,7 @@ func encodeEntry(w *bytes.Buffer, e *Entry) error {
 		return nil
 	}
 	if e.Trace != nil {
-		if err := blob(e.Trace.Write); err != nil {
+		if err := blob(func(w io.Writer) error { return trace.WriteChunked(w, e.Trace) }); err != nil {
 			return err
 		}
 	}

@@ -50,7 +50,7 @@ type compInterval struct {
 
 // analysis carries the replay state.
 type analysis struct {
-	tr   *trace.Trace
+	st   *trace.Stream
 	prof *cube.Profile
 	m    metricSet
 
@@ -70,42 +70,41 @@ type analysis struct {
 
 // Analyze replays a trace and produces the analysis profile.  Severities
 // are in ticks of the trace's clock; normalise with the profile queries.
+// It is AnalyzeStream over the in-memory trace — the two paths share
+// every line of replay code, so their profiles are byte-identical.
 func Analyze(tr *trace.Trace) (*cube.Profile, error) {
-	locNames := make([]string, len(tr.Locs))
-	for i, l := range tr.Locs {
+	return AnalyzeStream(trace.StreamTrace(tr))
+}
+
+// AnalyzeStream replays a trace stream and produces the analysis
+// profile.  Events are consumed through one cursor per location, so a
+// chunked on-disk trace is analysed holding one chunk window (plus the
+// matching queues, which scale with communication, not run length) in
+// memory.
+func AnalyzeStream(st *trace.Stream) (*cube.Profile, error) {
+	nloc := st.NumLocs()
+	locNames := make([]string, nloc)
+	for i := 0; i < nloc; i++ {
+		l := st.Loc(i)
 		locNames[i] = fmt.Sprintf("r%dt%d", l.Rank, l.Thread)
 	}
-	prof := cube.New(tr.Clock, locNames)
+	prof := cube.New(st.Clock, locNames)
 	a := &analysis{
-		tr:       tr,
+		st:       st,
 		prof:     prof,
 		m:        buildMetrics(prof),
 		colls:    make(map[[2]int32][]collPart),
 		bars:     make(map[[2]int32][]barPart),
-		comp:     make([][]compInterval, len(tr.Locs)),
+		comp:     make([][]compInterval, nloc),
 		teamSize: make(map[int]int),
 	}
-	// Size the matching queues up front so the replay appends never grow
-	// them.
-	var nSend, nRecv int
-	for _, l := range tr.Locs {
-		for _, e := range l.Events {
-			switch e.Kind {
-			case trace.EvSend:
-				nSend++
-			case trace.EvRecv:
-				nRecv++
-			}
-		}
-	}
-	a.sends = make([]sendRec, 0, nSend)
-	a.recvs = make([]recvRec, 0, nRecv)
-	for _, l := range tr.Locs {
+	for i := 0; i < nloc; i++ {
+		l := st.Loc(i)
 		if l.Thread+1 > a.teamSize[l.Rank] {
 			a.teamSize[l.Rank] = l.Thread + 1
 		}
 	}
-	for li := range tr.Locs {
+	for li := 0; li < nloc; li++ {
 		if err := a.scanLocation(li); err != nil {
 			return nil, err
 		}
@@ -131,7 +130,7 @@ type frame struct {
 // records for the matching passes, and accounts idle worker threads
 // during the master's sequential phases.
 func (a *analysis) scanLocation(li int) error {
-	l := a.tr.Locs[li]
+	l := a.st.Loc(li)
 	isMaster := l.Thread == 0
 	workers := a.teamSize[l.Rank] - 1
 	stack := a.stack[:0]
@@ -139,7 +138,8 @@ func (a *analysis) scanLocation(li int) error {
 	haveLast := false
 	inParallel := false
 
-	for _, e := range l.Events {
+	cur := a.st.Cursor(li)
+	for e, ok := cur.Next(); ok; e, ok = cur.Next() {
 		t := float64(e.Time)
 		if !haveLast {
 			lastT = t
@@ -160,8 +160,8 @@ func (a *analysis) scanLocation(li int) error {
 			if len(stack) > 0 {
 				parent = stack[len(stack)-1].path
 			}
-			role := a.tr.Regions[e.Region].Role
-			path := a.prof.Path(parent, a.tr.Regions[e.Region].Name)
+			role := a.st.Regions[e.Region].Role
+			path := a.prof.Path(parent, a.st.Regions[e.Region].Name)
 			if len(stack) < cap(stack) {
 				// Reuse the frame slot left by a previous pop at this
 				// depth, keeping its sendIdx buffer.
@@ -229,6 +229,9 @@ func (a *analysis) scanLocation(li int) error {
 		}
 	}
 	a.stack = stack[:0]
+	if err := cur.Err(); err != nil {
+		return fmt.Errorf("scalasca: loc %d: reading trace: %w", li, err)
+	}
 	if len(stack) != 0 {
 		return fmt.Errorf("scalasca: loc %d: %d unclosed regions at end of trace", li, len(stack))
 	}

@@ -12,7 +12,7 @@ func (a *analysis) matchP2P() {
 	}
 	queues := make(map[chanKey][]int)
 	for i, s := range a.sends {
-		k := chanKey{int32(a.tr.Locs[s.loc].Rank), s.dst, s.tag}
+		k := chanKey{int32(a.st.Loc(s.loc).Rank), s.dst, s.tag}
 		queues[k] = append(queues[k], i)
 	}
 	// Receives are matched in each location's event order, which the scan
@@ -30,7 +30,7 @@ func (a *analysis) matchP2P() {
 	})
 	for _, ri := range order {
 		r := a.recvs[ri]
-		k := chanKey{r.src, int32(a.tr.Locs[r.loc].Rank), r.tag}
+		k := chanKey{r.src, int32(a.st.Loc(r.loc).Rank), r.tag}
 		q := queues[k]
 		if len(q) == 0 {
 			continue // unmatched (e.g. wildcard-tag bookkeeping mismatch)

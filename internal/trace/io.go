@@ -24,6 +24,9 @@ var ErrTruncated = errors.New("trace: truncated event stream")
 //	    events with delta-encoded timestamps:
 //	        kind (1 byte), time delta, region, A (zigzag), B (zigzag),
 //	        C (zigzag)
+//
+// Version 2 is the chunked, compressed, seekable format documented in
+// chunk.go; Read dispatches on the version field and handles both.
 const (
 	magic         = "LTRC"
 	formatVersion = 1
@@ -127,6 +130,18 @@ func fail(section string, err error) error {
 	return fmt.Errorf("trace: reading %s: %w", section, err)
 }
 
+// internRegion is (*Trace).Region for decode paths: a duplicate region
+// name with a conflicting role is corrupt input and must surface as an
+// error, not as Region's programmer-error panic.
+func (t *Trace) internRegion(name string, role Role) error {
+	if id, ok := t.regionIDs[name]; ok && t.Regions[id].Role != role {
+		return fmt.Errorf("trace: region %q defined twice with conflicting roles %v and %v",
+			name, t.Regions[id].Role, role)
+	}
+	t.Region(name, role)
+	return nil
+}
+
 // RecordError pinpoints the event record being decoded when a trace
 // read fails mid-stream: the location index, its rank and thread, and
 // the zero-based event index within the location.  It wraps the
@@ -143,14 +158,22 @@ type RecordError struct {
 	Thread int
 	Event  int // zero-based event index within the location
 	Events int // event count the location header declared
-	Err    error
+	// Chunk is the one-based chunk ordinal within the location for
+	// chunked (version-2) traces, or 0 for the monolithic version-1
+	// stream, where events are not chunked.
+	Chunk int
+	Err   error
 }
 
 func (e *RecordError) Error() string {
-	if e.Path != "" {
-		return fmt.Sprintf("%s: location %d (rank %d thread %d): %v", e.Path, e.Loc, e.Rank, e.Thread, e.Err)
+	at := fmt.Sprintf("location %d (rank %d thread %d)", e.Loc, e.Rank, e.Thread)
+	if e.Chunk > 0 {
+		at += fmt.Sprintf(" chunk %d", e.Chunk)
 	}
-	return fmt.Sprintf("location %d (rank %d thread %d): %v", e.Loc, e.Rank, e.Thread, e.Err)
+	if e.Path != "" {
+		return fmt.Sprintf("%s: %s: %v", e.Path, at, e.Err)
+	}
+	return fmt.Sprintf("%s: %v", at, e.Err)
 }
 
 func (e *RecordError) Unwrap() error { return e.Err }
@@ -224,8 +247,12 @@ func Read(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
+	if ver == chunkFormatVersion {
+		return readChunkedSeq(br)
+	}
 	if ver != formatVersion {
-		return nil, fmt.Errorf("trace: unsupported version %d (this reader handles version %d)", ver, formatVersion)
+		return nil, fmt.Errorf("trace: unsupported version %d (this reader handles versions %d-%d)",
+			ver, formatVersion, chunkFormatVersion)
 	}
 	clock, err := getS("clock name")
 	if err != nil {
@@ -249,7 +276,9 @@ func Read(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, fail(section+" role", err)
 		}
-		t.Region(name, Role(role))
+		if err := t.internRegion(name, Role(role)); err != nil {
+			return nil, err
+		}
 	}
 	nloc, err := getU("location count")
 	if err != nil {

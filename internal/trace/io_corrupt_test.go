@@ -64,8 +64,8 @@ func TestReadCorruptionDiagnostics(t *testing.T) {
 		},
 		{
 			name:  "future version",
-			input: append([]byte(magic), uvarint(formatVersion+1)...),
-			want:  "unsupported version 2",
+			input: append([]byte(magic), uvarint(chunkFormatVersion+1)...),
+			want:  "unsupported version 3",
 		},
 		{
 			name:  "implausible clock-name length",

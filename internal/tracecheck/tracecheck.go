@@ -123,6 +123,10 @@ type Report struct {
 	// past the per-kind recording cap.
 	Counts     map[Kind]int `json:"counts,omitempty"`
 	Violations []Violation  `json:"violations,omitempty"`
+	// ReadErrors lists stream read failures encountered while scanning a
+	// (possibly damaged) chunked trace.  The verdict then covers only the
+	// events that could be decoded.
+	ReadErrors []string `json:"read_errors,omitempty"`
 }
 
 // OK reports whether no invariant was violated.
@@ -205,17 +209,36 @@ func Logical(clock string) bool { return strings.HasPrefix(clock, "lt_") }
 // Verify runs every invariant check against the trace and returns the
 // report.  It never fails: structural problems (unmatched receives,
 // broken nesting, causality cycles) become violations, so a partially
-// corrupted trace still yields a maximally informative report.
+// corrupted trace still yields a maximally informative report.  Verify
+// is VerifyStream over the in-memory trace — both paths run the same
+// single-pass checker, so their reports are identical.
 func Verify(tr *trace.Trace, opt Options) *Report {
+	return verify(trace.StreamTrace(tr), tr, opt)
+}
+
+// VerifyStream runs the invariant checks against a trace stream.  The
+// per-location pass consumes one cursor at a time and keeps only the
+// synchronisation skeleton (sends, receives, collective/barrier/fork
+// records and the reconstructed edges) in memory, so verifying a
+// chunked on-disk trace is bounded by its communication volume, not its
+// event count.  The vector-clock audit still materializes the trace,
+// but only below Options.MaxVectorCells — exactly the regime where the
+// materialized trace fits comfortably.
+func VerifyStream(st *trace.Stream, opt Options) *Report {
+	return verify(st, nil, opt)
+}
+
+func verify(st *trace.Stream, mat *trace.Trace, opt Options) *Report {
 	opt = opt.fill()
 	c := &checker{
-		tr:  tr,
+		st:  st,
+		mat: mat,
 		opt: opt,
 		rep: &Report{
-			Clock:   tr.Clock,
-			Logical: Logical(tr.Clock),
-			Locs:    len(tr.Locs),
-			Events:  tr.NumEvents(),
+			Clock:   st.Clock,
+			Logical: Logical(st.Clock),
+			Locs:    st.NumLocs(),
+			Events:  st.NumEvents(),
 			Counts:  make(map[Kind]int),
 		},
 	}
@@ -243,35 +266,64 @@ func Verify(tr *trace.Trace, opt Options) *Report {
 	return c.rep
 }
 
-type ref struct{ loc, idx int }
-
 type chanKey struct{ src, dst, tag int32 }
 
+// exitRef is the lazily resolved far end of a release edge: the Exit
+// event closing the region that encloses a collective or barrier
+// record.  The scan attaches one to the region stack and fills it in
+// when that frame pops (or with the location's last event if the
+// region never closes — the old whole-trace exitAfter default).
+type exitRef struct{ pos EventPos }
+
 // collPart is one location's participation in a collective, barrier,
-// fork or join instance.
+// fork or join instance, with every event attribute the later passes
+// need captured as the scan streamed past it.
 type collPart struct {
-	loc   int
-	idx   int // the Coll/Barrier/Fork/Join record
-	enter int // enclosing Enter (edge source for collectives)
-	name  string
+	pos      EventPos // the Coll/Barrier/Fork/Join record itself
+	enterPos EventPos // enclosing Enter (edge source for collectives)
+	exit     *exitRef // exit closing the enclosing region (edge target)
+	name     string   // operation (enclosing region) name
+	seq      int32    // Fork/Join sequence number
+	team     int32    // Barrier team size
 }
 
+type recvRec struct {
+	pos EventPos
+	key chanKey
+}
+
+// collSeqRec is one CollEnd observation in a location's stream order,
+// for the per-location sequence check and violation reporting.
+type collSeqRec struct {
+	comm, seq int32
+	pos       EventPos
+}
+
+// segment is one top-level region segment of a worker location's
+// stream, precomputed by the scan with the same recurrence the
+// fork/join worker-cursor reconstruction used on the whole trace.
+type segment struct{ start, end EventPos }
+
+// edgeRec is a reconstructed synchronisation edge with both endpoint
+// positions (and thus timestamps) captured.
+type edgeRec struct{ from, to EventPos }
+
 type checker struct {
-	tr  *trace.Trace
+	st  *trace.Stream
+	mat *trace.Trace // set when the caller already holds the trace
 	opt Options
 	rep *Report
 
-	// region[li][ei] is the innermost enclosing region at event ei, or
-	// -1 outside any region.
-	region [][]trace.RegionID
+	sends    map[chanKey][]EventPos
+	recvs    []recvRec               // global stream order (locations ascending)
+	colls    map[[2]int32][]collPart // (comm, seq)
+	bars     map[[2]int32][]collPart // (rank, seq)
+	forks    map[int32][]collPart    // rank -> forks in stream order
+	joins    map[int32][]collPart    // rank -> joins in stream order
+	collSeqs [][]collSeqRec          // per location, stream order
+	segs     [][]segment             // per worker location
 
-	sends map[chanKey][]ref
-	colls map[[2]int32][]collPart // (comm, seq)
-	bars  map[[2]int32][]collPart // (rank, seq)
-	forks map[int32][]collPart    // rank -> forks in stream order
-	joins map[int32][]collPart    // rank -> joins in stream order
-
-	edges []vclock.Edge
+	edges []edgeRec
 }
 
 // violate records a violation, honouring the per-kind cap.
@@ -285,99 +337,174 @@ func (c *checker) violate(k Kind, ev EventPos, peer *EventPos, format string, ar
 	})
 }
 
-// pos builds the EventPos of one record.
-func (c *checker) pos(loc, idx int) EventPos {
-	l := c.tr.Locs[loc]
-	e := l.Events[idx]
-	p := EventPos{
-		Loc: loc, Index: idx, Rank: l.Rank, Thread: l.Thread,
-		Kind: e.Kind.String(), Time: e.Time,
-	}
-	if reg := c.region[loc][idx]; reg >= 0 && int(reg) < len(c.tr.Regions) {
-		p.Region = c.tr.Regions[reg].Name
-	}
-	return p
+// scanFrame is one region-stack entry during the streaming scan.
+type scanFrame struct {
+	region trace.RegionID
+	pos    EventPos // the Enter record
 }
 
-func (c *checker) posPtr(loc, idx int) *EventPos {
-	p := c.pos(loc, idx)
-	return &p
-}
-
-// scan performs the per-location pass: region nesting, timestamp
-// monotonicity, and collection of every synchronisation record.
+// scan performs the per-location streaming pass: region nesting,
+// timestamp monotonicity, barrier sequence order, worker segment
+// reconstruction, and collection of every synchronisation record with
+// its edge endpoints resolved in-stream.
 func (c *checker) scan() {
-	c.region = make([][]trace.RegionID, len(c.tr.Locs))
-	c.sends = make(map[chanKey][]ref)
+	nloc := c.st.NumLocs()
+	c.sends = make(map[chanKey][]EventPos)
 	c.colls = make(map[[2]int32][]collPart)
 	c.bars = make(map[[2]int32][]collPart)
 	c.forks = make(map[int32][]collPart)
 	c.joins = make(map[int32][]collPart)
-	for li, l := range c.tr.Locs {
-		c.region[li] = make([]trace.RegionID, len(l.Events))
-		var stack []int
-		for ei, e := range l.Events {
-			if len(stack) > 0 {
-				c.region[li][ei] = l.Events[stack[len(stack)-1]].Region
-			} else {
-				c.region[li][ei] = -1
+	c.collSeqs = make([][]collSeqRec, nloc)
+	c.segs = make([][]segment, nloc)
+
+	var stack []scanFrame
+	var pending [][]*exitRef // by stack depth at attach time
+	for li := 0; li < nloc; li++ {
+		l := c.st.Loc(li)
+		worker := l.Thread != 0
+		stack = stack[:0]
+		for d := range pending {
+			pending[d] = pending[d][:0]
+		}
+		var open []*exitRef
+		attach := func(er *exitRef) {
+			d := len(stack)
+			for len(pending) <= d {
+				pending = append(pending, nil)
 			}
-			if ei > 0 {
-				prev := l.Events[ei-1].Time
-				if c.rep.Logical && e.Time <= prev {
-					c.violate(KindMonotonic, c.pos(li, ei), c.posPtr(li, ei-1),
-						"logical stamp %d does not exceed predecessor %d", e.Time, prev)
-				} else if !c.rep.Logical && e.Time < prev {
-					c.violate(KindMonotonic, c.pos(li, ei), c.posPtr(li, ei-1),
-						"stamp %d runs backwards from %d", e.Time, prev)
+			pending[d] = append(pending[d], er)
+			open = append(open, er)
+		}
+
+		barNext := int32(0)
+		var prev EventPos
+		havePrev := false
+		// Worker segment recurrence (the old regionEnd walk): a segment
+		// runs until the depth counter returns to zero on an Exit.
+		segDepth := 0
+		segOpen := false
+		var segStart EventPos
+
+		cur := c.st.Cursor(li)
+		ei := 0
+		for e, ok := cur.Next(); ok; e, ok = cur.Next() {
+			p := EventPos{
+				Loc: li, Index: ei, Rank: l.Rank, Thread: l.Thread,
+				Kind: e.Kind.String(), Time: e.Time,
+			}
+			if n := len(stack); n > 0 {
+				if reg := stack[n-1].region; reg >= 0 && int(reg) < len(c.st.Regions) {
+					p.Region = c.st.Regions[reg].Name
 				}
 			}
+			if havePrev {
+				if c.rep.Logical && e.Time <= prev.Time {
+					pp := prev
+					c.violate(KindMonotonic, p, &pp,
+						"logical stamp %d does not exceed predecessor %d", e.Time, prev.Time)
+				} else if !c.rep.Logical && e.Time < prev.Time {
+					pp := prev
+					c.violate(KindMonotonic, p, &pp,
+						"stamp %d runs backwards from %d", e.Time, prev.Time)
+				}
+			}
+
 			switch e.Kind {
 			case trace.EvEnter:
-				stack = append(stack, ei)
+				stack = append(stack, scanFrame{region: e.Region, pos: p})
 			case trace.EvExit:
-				if len(stack) == 0 {
-					c.violate(KindUnbalanced, c.pos(li, ei), nil, "exit without matching enter")
-					continue
+				if d := len(stack); d < len(pending) {
+					for _, er := range pending[d] {
+						er.pos = p
+					}
+					pending[d] = pending[d][:0]
 				}
-				stack = stack[:len(stack)-1]
+				if len(stack) == 0 {
+					c.violate(KindUnbalanced, p, nil, "exit without matching enter")
+				} else {
+					stack = stack[:len(stack)-1]
+				}
 			case trace.EvSend:
 				k := chanKey{int32(l.Rank), e.A, e.B}
-				c.sends[k] = append(c.sends[k], ref{li, ei})
+				c.sends[k] = append(c.sends[k], p)
+			case trace.EvRecv:
+				c.recvs = append(c.recvs, recvRec{pos: p, key: chanKey{e.A, int32(l.Rank), e.B}})
 			case trace.EvCollEnd:
-				enter := ei
-				if len(stack) > 0 {
-					enter = stack[len(stack)-1]
+				enter := p
+				if n := len(stack); n > 0 {
+					enter = stack[n-1].pos
 				}
-				part := collPart{loc: li, idx: ei, enter: enter, name: c.regionName(li, ei)}
-				c.colls[[2]int32{e.A, e.B}] = append(c.colls[[2]int32{e.A, e.B}], part)
+				er := &exitRef{}
+				attach(er)
+				key := [2]int32{e.A, e.B}
+				c.colls[key] = append(c.colls[key], collPart{
+					pos: p, enterPos: enter, exit: er, name: p.Region,
+				})
+				c.collSeqs[li] = append(c.collSeqs[li], collSeqRec{comm: e.A, seq: e.B, pos: p})
 			case trace.EvBarrier:
-				part := collPart{loc: li, idx: ei, enter: ei, name: c.regionName(li, ei)}
-				c.bars[[2]int32{int32(l.Rank), e.B}] = append(c.bars[[2]int32{int32(l.Rank), e.B}], part)
+				if e.B != barNext {
+					c.violate(KindBarrier, p, nil,
+						"barrier seq %d observed where seq %d was expected", e.B, barNext)
+					barNext = e.B + 1
+				} else {
+					barNext++
+				}
+				er := &exitRef{}
+				attach(er)
+				c.bars[[2]int32{int32(l.Rank), e.B}] = append(c.bars[[2]int32{int32(l.Rank), e.B}], collPart{
+					pos: p, enterPos: p, exit: er, name: p.Region, team: e.A,
+				})
 			case trace.EvFork:
 				if l.Thread != 0 {
-					c.violate(KindForkJoin, c.pos(li, ei), nil, "fork recorded on worker thread")
+					c.violate(KindForkJoin, p, nil, "fork recorded on worker thread")
 				}
-				c.forks[int32(l.Rank)] = append(c.forks[int32(l.Rank)], collPart{loc: li, idx: ei})
+				c.forks[int32(l.Rank)] = append(c.forks[int32(l.Rank)], collPart{pos: p, seq: e.B})
 			case trace.EvJoin:
 				if l.Thread != 0 {
-					c.violate(KindForkJoin, c.pos(li, ei), nil, "join recorded on worker thread")
+					c.violate(KindForkJoin, p, nil, "join recorded on worker thread")
 				}
-				c.joins[int32(l.Rank)] = append(c.joins[int32(l.Rank)], collPart{loc: li, idx: ei})
+				c.joins[int32(l.Rank)] = append(c.joins[int32(l.Rank)], collPart{pos: p, seq: e.B})
+			}
+
+			if worker {
+				if !segOpen {
+					segStart = p
+					segOpen = true
+				}
+				switch e.Kind {
+				case trace.EvEnter:
+					segDepth++
+				case trace.EvExit:
+					segDepth--
+					if segDepth == 0 {
+						c.segs[li] = append(c.segs[li], segment{start: segStart, end: p})
+						segOpen = false
+					}
+				}
+			}
+
+			prev = p
+			havePrev = true
+			ei++
+		}
+		if err := cur.Err(); err != nil {
+			c.rep.ReadErrors = append(c.rep.ReadErrors, fmt.Sprintf("location %d: %v", li, err))
+		}
+		// Unresolved release edges default to the location's last event,
+		// like the whole-trace exitAfter did.
+		for _, er := range open {
+			if er.pos.Kind == "" {
+				er.pos = prev
 			}
 		}
+		if worker && segOpen {
+			c.segs[li] = append(c.segs[li], segment{start: segStart, end: prev})
+		}
 		if len(stack) > 0 {
-			c.violate(KindUnbalanced, c.pos(li, stack[len(stack)-1]), nil,
+			c.violate(KindUnbalanced, stack[len(stack)-1].pos, nil,
 				"%d region(s) never exited before end of stream", len(stack))
 		}
 	}
-}
-
-func (c *checker) regionName(li, ei int) string {
-	if reg := c.region[li][ei]; reg >= 0 && int(reg) < len(c.tr.Regions) {
-		return c.tr.Regions[reg].Name
-	}
-	return ""
 }
 
 // matchMessages pairs receives with sends FIFO per (src, dst, tag)
@@ -385,28 +512,19 @@ func (c *checker) regionName(li, ei int) string {
 // violation per receive that has no send, and one orphan-send violation
 // per send never consumed (the signature of a dropped receive).
 func (c *checker) matchMessages() {
-	pending := make(map[chanKey][]ref, len(c.sends))
+	pending := make(map[chanKey][]EventPos, len(c.sends))
 	for k, v := range c.sends {
 		pending[k] = v
 	}
-	for li, l := range c.tr.Locs {
-		for ei, e := range l.Events {
-			if e.Kind != trace.EvRecv {
-				continue
-			}
-			k := chanKey{e.A, int32(l.Rank), e.B}
-			q := pending[k]
-			if len(q) == 0 {
-				c.violate(KindUnmatchedRecv, c.pos(li, ei), nil,
-					"no matching send on channel src=%d dst=%d tag=%d", e.A, l.Rank, e.B)
-				continue
-			}
-			c.edges = append(c.edges, vclock.Edge{
-				From: vclock.EventRef{Loc: q[0].loc, Index: q[0].idx},
-				To:   vclock.EventRef{Loc: li, Index: ei},
-			})
-			pending[k] = q[1:]
+	for _, r := range c.recvs {
+		q := pending[r.key]
+		if len(q) == 0 {
+			c.violate(KindUnmatchedRecv, r.pos, nil,
+				"no matching send on channel src=%d dst=%d tag=%d", r.key.src, r.key.dst, r.key.tag)
+			continue
 		}
+		c.edges = append(c.edges, edgeRec{from: q[0], to: r.pos})
+		pending[r.key] = q[1:]
 	}
 	keys := make([]chanKey, 0, len(pending))
 	for k := range pending {
@@ -426,7 +544,7 @@ func (c *checker) matchMessages() {
 	})
 	for _, k := range keys {
 		for _, s := range pending[k] {
-			c.violate(KindOrphanSend, c.pos(s.loc, s.idx), nil,
+			c.violate(KindOrphanSend, s, nil,
 				"send to rank %d tag %d never received (dropped receive?)", k.dst, k.tag)
 		}
 	}
@@ -447,16 +565,12 @@ func (c *checker) checkCollectives() {
 			perLocSeqs[comm] = make(map[int][]int32)
 		}
 		for _, p := range c.colls[k] {
-			members[comm][p.loc] = true
+			members[comm][p.pos.Loc] = true
 		}
 	}
-	// Stream-order seq observation per (comm, loc): re-scan events so
-	// order reflects the location's stream, not the grouping.
-	for li, l := range c.tr.Locs {
-		for _, e := range l.Events {
-			if e.Kind == trace.EvCollEnd {
-				perLocSeqs[e.A][li] = append(perLocSeqs[e.A][li], e.B)
-			}
+	for li := range c.collSeqs {
+		for _, r := range c.collSeqs[li] {
+			perLocSeqs[r.comm][li] = append(perLocSeqs[r.comm][li], r.seq)
 		}
 	}
 	comms := make([]int32, 0, len(members))
@@ -473,7 +587,7 @@ func (c *checker) checkCollectives() {
 					pos := c.findColl(li, comm, s)
 					c.violate(KindCollOrder, pos, nil,
 						"rank %d observes comm %d instance seq %d at position %d (expected seq %d)",
-						c.tr.Locs[li].Rank, comm, s, i, i)
+						c.st.Loc(li).Rank, comm, s, i, i)
 					break
 				}
 			}
@@ -484,24 +598,25 @@ func (c *checker) checkCollectives() {
 		parts := c.colls[k]
 		seen := make(map[int]int)
 		for _, p := range parts {
-			seen[p.loc]++
+			seen[p.pos.Loc]++
 		}
 		first := parts[0]
 		for _, li := range sortedInts(members[comm]) {
 			switch n := seen[li]; {
 			case n == 0:
-				c.violate(KindCollParticipant, c.pos(first.loc, first.idx), nil,
+				c.violate(KindCollParticipant, first.pos, nil,
 					"rank %d missing from comm %d collective instance seq %d",
-					c.tr.Locs[li].Rank, comm, seq)
+					c.st.Loc(li).Rank, comm, seq)
 			case n > 1:
-				c.violate(KindCollParticipant, c.pos(first.loc, first.idx), nil,
+				c.violate(KindCollParticipant, first.pos, nil,
 					"rank %d participates %d times in comm %d instance seq %d",
-					c.tr.Locs[li].Rank, n, comm, seq)
+					c.st.Loc(li).Rank, n, comm, seq)
 			}
 		}
 		for _, p := range parts[1:] {
 			if p.name != first.name {
-				c.violate(KindCollParticipant, c.pos(p.loc, p.idx), c.posPtr(first.loc, first.idx),
+				fp := first.pos
+				c.violate(KindCollParticipant, p.pos, &fp,
 					"operation %q does not match %q on comm %d instance seq %d",
 					p.name, first.name, comm, seq)
 			}
@@ -513,12 +628,13 @@ func (c *checker) checkCollectives() {
 // findColl locates the CollEnd record of (comm, seq) on a location for
 // violation reporting.
 func (c *checker) findColl(li int, comm, seq int32) EventPos {
-	for ei, e := range c.tr.Locs[li].Events {
-		if e.Kind == trace.EvCollEnd && e.A == comm && e.B == seq {
-			return c.pos(li, ei)
+	for _, r := range c.collSeqs[li] {
+		if r.comm == comm && r.seq == seq {
+			return r.pos
 		}
 	}
-	return EventPos{Loc: li, Rank: c.tr.Locs[li].Rank, Thread: c.tr.Locs[li].Thread}
+	l := c.st.Loc(li)
+	return EventPos{Loc: li, Rank: l.Rank, Thread: l.Thread}
 }
 
 // allToAll emits the release edges of one collective or barrier
@@ -527,47 +643,30 @@ func (c *checker) findColl(li int, comm, seq int32) EventPos {
 func (c *checker) allToAll(parts []collPart) {
 	for _, a := range parts {
 		for _, b := range parts {
-			if a.loc == b.loc {
+			if a.pos.Loc == b.pos.Loc {
 				continue
 			}
-			c.edges = append(c.edges, vclock.Edge{
-				From: vclock.EventRef{Loc: a.loc, Index: a.enter},
-				To:   vclock.EventRef{Loc: b.loc, Index: exitAfter(c.tr.Locs[b.loc].Events, b.idx)},
-			})
+			c.edges = append(c.edges, edgeRec{from: a.enterPos, to: b.exit.pos})
 		}
 	}
 }
 
 // checkBarriers verifies that each OpenMP barrier instance is reached by
-// the full team in per-thread sequence order, then emits its edges.
+// the full team (the per-thread sequence order was checked in-stream by
+// the scan), then emits its edges.
 func (c *checker) checkBarriers() {
-	// Per-location barrier sequence order.
-	for li, l := range c.tr.Locs {
-		next := int32(0)
-		for ei, e := range l.Events {
-			if e.Kind != trace.EvBarrier {
-				continue
-			}
-			if e.B != next {
-				c.violate(KindBarrier, c.pos(li, ei), nil,
-					"barrier seq %d observed where seq %d was expected", e.B, next)
-				next = e.B + 1
-				continue
-			}
-			next++
-		}
-	}
 	teamSize := make(map[int32]int) // rank -> location count
-	for _, l := range c.tr.Locs {
-		teamSize[int32(l.Rank)]++
+	for i := 0; i < c.st.NumLocs(); i++ {
+		teamSize[int32(c.st.Loc(i).Rank)]++
 	}
 	for _, k := range sortedKeys2(c.bars) {
 		rank, seq := k[0], k[1]
 		parts := c.bars[k]
-		want := int(c.tr.Locs[parts[0].loc].Events[parts[0].idx].A)
+		want := int(parts[0].team)
 		for _, p := range parts[1:] {
-			if got := int(c.tr.Locs[p.loc].Events[p.idx].A); got != want {
-				c.violate(KindBarrier, c.pos(p.loc, p.idx), c.posPtr(parts[0].loc, parts[0].idx),
+			if got := int(p.team); got != want {
+				fp := parts[0].pos
+				c.violate(KindBarrier, p.pos, &fp,
 					"team size %d disagrees with %d for barrier seq %d", got, want, seq)
 			}
 		}
@@ -575,7 +674,7 @@ func (c *checker) checkBarriers() {
 			want = teamSize[rank] // a truncated trace cannot have more locations than recorded
 		}
 		if len(parts) != want {
-			c.violate(KindBarrier, c.pos(parts[0].loc, parts[0].idx), nil,
+			c.violate(KindBarrier, parts[0].pos, nil,
 				"%d of %d threads reached barrier seq %d on rank %d", len(parts), want, seq, rank)
 		}
 		c.allToAll(parts)
@@ -583,9 +682,10 @@ func (c *checker) checkBarriers() {
 }
 
 // checkForkJoin verifies strict fork/join alternation with matching
-// sequence numbers per rank and emits the fork and join edges using the
-// worker-cursor reconstruction (workers only have events inside parallel
-// regions, so their next unclaimed region belongs to the next fork).
+// sequence numbers per rank and emits the fork and join edges by
+// consuming each worker's precomputed top-level region segments (a
+// worker only has events inside parallel regions, so its next
+// unclaimed segment belongs to the next fork).
 func (c *checker) checkForkJoin() {
 	ranks := make([]int32, 0, len(c.forks))
 	seen := make(map[int32]bool)
@@ -600,64 +700,60 @@ func (c *checker) checkForkJoin() {
 	}
 	sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
 
-	workerCursor := make(map[int]int)
+	segIdx := make(map[int]int)
 	for _, rank := range ranks {
 		forks, joins := c.forks[rank], c.joins[rank]
 		// Alternation and sequence checks on the master stream.
 		for i, f := range forks {
-			if seq := c.tr.Locs[f.loc].Events[f.idx].B; int32(i) != seq {
-				c.violate(KindForkJoin, c.pos(f.loc, f.idx), nil,
-					"fork seq %d observed where seq %d was expected", seq, i)
+			if f.seq != int32(i) {
+				c.violate(KindForkJoin, f.pos, nil,
+					"fork seq %d observed where seq %d was expected", f.seq, i)
 			}
 		}
 		for i, j := range joins {
-			if seq := c.tr.Locs[j.loc].Events[j.idx].B; int32(i) != seq {
-				c.violate(KindForkJoin, c.pos(j.loc, j.idx), nil,
-					"join seq %d observed where seq %d was expected", seq, i)
+			if j.seq != int32(i) {
+				c.violate(KindForkJoin, j.pos, nil,
+					"join seq %d observed where seq %d was expected", j.seq, i)
 			}
 		}
 		switch {
 		case len(joins) > len(forks):
 			j := joins[len(forks)]
-			c.violate(KindForkJoin, c.pos(j.loc, j.idx), nil,
+			c.violate(KindForkJoin, j.pos, nil,
 				"join without a preceding fork (%d joins, %d forks)", len(joins), len(forks))
 		case len(forks) > len(joins):
 			f := forks[len(joins)]
-			c.violate(KindForkJoin, c.pos(f.loc, f.idx), nil,
+			c.violate(KindForkJoin, f.pos, nil,
 				"fork never joined (%d forks, %d joins)", len(forks), len(joins))
 		}
 		for i := 0; i < len(forks) && i < len(joins); i++ {
-			if forks[i].loc == joins[i].loc && joins[i].idx < forks[i].idx {
-				c.violate(KindForkJoin, c.pos(joins[i].loc, joins[i].idx), c.posPtr(forks[i].loc, forks[i].idx),
+			if forks[i].pos.Loc == joins[i].pos.Loc && joins[i].pos.Index < forks[i].pos.Index {
+				fp := forks[i].pos
+				c.violate(KindForkJoin, joins[i].pos, &fp,
 					"join seq %d precedes its fork in the master stream", i)
 			}
 		}
 		// Edges, processing forks in sequence order.
 		for i, f := range forks {
-			for li, l := range c.tr.Locs {
+			for li := 0; li < c.st.NumLocs(); li++ {
+				l := c.st.Loc(li)
 				if int32(l.Rank) != rank || l.Thread == 0 {
 					continue
 				}
-				cur := workerCursor[li]
-				if cur < len(l.Events) {
-					c.edges = append(c.edges, vclock.Edge{
-						From: vclock.EventRef{Loc: f.loc, Index: f.idx},
-						To:   vclock.EventRef{Loc: li, Index: cur},
-					})
-					workerCursor[li] = regionEnd(l.Events, cur) + 1
+				if segIdx[li] < len(c.segs[li]) {
+					c.edges = append(c.edges, edgeRec{from: f.pos, to: c.segs[li][segIdx[li]].start})
+					segIdx[li]++
 				}
 			}
 			if i < len(joins) {
 				j := joins[i]
-				for li, l := range c.tr.Locs {
+				for li := 0; li < c.st.NumLocs(); li++ {
+					l := c.st.Loc(li)
 					if int32(l.Rank) != rank || l.Thread == 0 {
 						continue
 					}
-					if end := workerCursor[li] - 1; end >= 0 && end < len(l.Events) {
-						c.edges = append(c.edges, vclock.Edge{
-							From: vclock.EventRef{Loc: li, Index: end},
-							To:   vclock.EventRef{Loc: j.loc, Index: j.idx},
-						})
+					if n := segIdx[li]; n > 0 {
+						c.edges = append(c.edges, edgeRec{from: c.segs[li][n-1].end, to: j.pos})
 					}
 				}
 			}
@@ -672,14 +768,15 @@ func (c *checker) checkEdges() {
 		return
 	}
 	for _, e := range c.edges {
-		from := c.tr.Locs[e.From.Loc].Events[e.From.Index].Time
-		to := c.tr.Locs[e.To.Loc].Events[e.To.Index].Time
+		from, to := e.from.Time, e.to.Time
 		switch {
 		case to <= from:
-			c.violate(KindClockCondition, c.pos(e.To.Loc, e.To.Index), c.posPtr(e.From.Loc, e.From.Index),
+			fp := e.from
+			c.violate(KindClockCondition, e.to, &fp,
 				"edge target stamp %d does not exceed source stamp %d", to, from)
 		case to == from+1:
-			c.violate(KindPiggyback, c.pos(e.To.Loc, e.To.Index), c.posPtr(e.From.Loc, e.From.Index),
+			fp := e.from
+			c.violate(KindPiggyback, e.to, &fp,
 				"synchronisation gained only one tick (%d -> %d); piggyback apparently not folded in", from, to)
 		}
 	}
@@ -688,12 +785,33 @@ func (c *checker) checkEdges() {
 // vectorAudit computes full vector clocks from the reconstructed edges
 // and checks the clock condition transitively on sampled event pairs —
 // the belt-and-braces pass that would catch an edge set too weak to
-// imply the full happens-before relation.
+// imply the full happens-before relation.  It is the one pass that
+// needs the whole trace; below MaxVectorCells it materializes the
+// stream (Verify hands the trace over directly, costing nothing).
 func (c *checker) vectorAudit() {
-	if c.rep.Events*len(c.tr.Locs) > c.opt.MaxVectorCells {
+	if c.rep.Events*c.st.NumLocs() > c.opt.MaxVectorCells {
 		return
 	}
-	clocks, err := vclock.ComputeFromEdges(c.tr, c.edges)
+	tr := c.mat
+	if tr == nil {
+		if len(c.rep.ReadErrors) > 0 {
+			return // the damaged stream cannot materialize either
+		}
+		var err error
+		tr, err = c.st.Materialize()
+		if err != nil {
+			c.rep.ReadErrors = append(c.rep.ReadErrors, fmt.Sprintf("vector audit: %v", err))
+			return
+		}
+	}
+	edges := make([]vclock.Edge, len(c.edges))
+	for i, e := range c.edges {
+		edges[i] = vclock.Edge{
+			From: vclock.EventRef{Loc: e.from.Loc, Index: e.from.Index},
+			To:   vclock.EventRef{Loc: e.to.Loc, Index: e.to.Index},
+		}
+	}
+	clocks, err := vclock.ComputeFromEdges(tr, edges)
 	if err != nil {
 		c.violate(KindCycle, EventPos{Loc: -1, Index: -1}, nil,
 			"vector-clock replay failed: %v", err)
@@ -702,8 +820,9 @@ func (c *checker) vectorAudit() {
 	if !c.rep.Logical {
 		return
 	}
-	samples := make([][]int, len(c.tr.Locs))
-	for li, l := range c.tr.Locs {
+	ctx := regionContexts(tr)
+	samples := make([][]int, len(tr.Locs))
+	for li, l := range tr.Locs {
 		n := len(l.Events)
 		if n == 0 {
 			continue
@@ -720,8 +839,8 @@ func (c *checker) vectorAudit() {
 			samples[li] = append(samples[li], i*(n-1)/step)
 		}
 	}
-	for la := range c.tr.Locs {
-		for lb := range c.tr.Locs {
+	for la := range tr.Locs {
+		for lb := range tr.Locs {
 			if la == lb {
 				continue
 			}
@@ -731,10 +850,11 @@ func (c *checker) vectorAudit() {
 					b := vclock.EventRef{Loc: lb, Index: ib}
 					c.rep.SampledPairs++
 					if clocks.HappensBefore(a, b) {
-						ta := c.tr.Locs[la].Events[ia].Time
-						tb := c.tr.Locs[lb].Events[ib].Time
+						ta := tr.Locs[la].Events[ia].Time
+						tb := tr.Locs[lb].Events[ib].Time
 						if ta >= tb {
-							c.violate(KindClockCondition, c.pos(lb, ib), c.posPtr(la, ia),
+							pb := posIn(tr, ctx, la, ia)
+							c.violate(KindClockCondition, posIn(tr, ctx, lb, ib), &pb,
 								"transitively ordered pair has stamps %d -> %d", ta, tb)
 						}
 					}
@@ -744,39 +864,45 @@ func (c *checker) vectorAudit() {
 	}
 }
 
-// exitAfter finds the index of the Exit event closing the region that
-// contains index i (mirrors vclock's edge semantics).
-func exitAfter(events []trace.Event, i int) int {
-	depth := 0
-	for j := i + 1; j < len(events); j++ {
-		switch events[j].Kind {
-		case trace.EvEnter:
-			depth++
-		case trace.EvExit:
-			if depth == 0 {
-				return j
+// regionContexts rebuilds the innermost-enclosing-region map of a
+// materialized trace (the audit needs positions of arbitrary sampled
+// events; everything else captured positions during the scan).
+func regionContexts(tr *trace.Trace) [][]trace.RegionID {
+	out := make([][]trace.RegionID, len(tr.Locs))
+	for li, l := range tr.Locs {
+		out[li] = make([]trace.RegionID, len(l.Events))
+		var stack []int
+		for ei, e := range l.Events {
+			if len(stack) > 0 {
+				out[li][ei] = l.Events[stack[len(stack)-1]].Region
+			} else {
+				out[li][ei] = -1
 			}
-			depth--
+			switch e.Kind {
+			case trace.EvEnter:
+				stack = append(stack, ei)
+			case trace.EvExit:
+				if len(stack) > 0 {
+					stack = stack[:len(stack)-1]
+				}
+			}
 		}
 	}
-	return len(events) - 1
+	return out
 }
 
-// regionEnd returns the index of the Exit balancing the Enter at start.
-func regionEnd(events []trace.Event, start int) int {
-	depth := 0
-	for j := start; j < len(events); j++ {
-		switch events[j].Kind {
-		case trace.EvEnter:
-			depth++
-		case trace.EvExit:
-			depth--
-			if depth == 0 {
-				return j
-			}
-		}
+// posIn builds the EventPos of one record of a materialized trace.
+func posIn(tr *trace.Trace, ctx [][]trace.RegionID, loc, idx int) EventPos {
+	l := tr.Locs[loc]
+	e := l.Events[idx]
+	p := EventPos{
+		Loc: loc, Index: idx, Rank: l.Rank, Thread: l.Thread,
+		Kind: e.Kind.String(), Time: e.Time,
 	}
-	return len(events) - 1
+	if reg := ctx[loc][idx]; reg >= 0 && int(reg) < len(tr.Regions) {
+		p.Region = tr.Regions[reg].Name
+	}
+	return p
 }
 
 func sortedKeys2(m map[[2]int32][]collPart) [][2]int32 {
