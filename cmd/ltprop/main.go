@@ -33,6 +33,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/obs/live"
 	"repro/internal/runcache"
 )
 
@@ -52,6 +53,8 @@ func main() {
 		`fault plan (default: sized from a reference run), e.g. "oneoff:rank=8,at=0.01,delay=0.002"`)
 	quiet := flag.Bool("quiet", false, "suppress the text report")
 	progress := flag.Bool("progress", false, "live progress on stderr")
+	liveAddr := flag.String("live", "",
+		"serve the study observatory (/healthz, /metrics, /progress) on this address")
 	list := flag.Bool("list", false, "list configurations and exit")
 	flag.Parse()
 
@@ -86,6 +89,23 @@ func main() {
 	}
 	if *progress {
 		opts.Progress = obs.NewProgress(os.Stderr, "ltprop", time.Now) //detlint:allow wallclock
+	}
+	if *liveAddr != "" {
+		if opts.Metrics == nil {
+			opts.Metrics = obs.NewRegistry()
+		}
+		if opts.Progress == nil {
+			opts.Progress = obs.NewProgress(os.Stderr, "ltprop", time.Now) //detlint:allow wallclock
+		}
+		srv, err := live.Start(*liveAddr, live.Options{
+			Registry: opts.Metrics,
+			Progress: opts.Progress,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("live observatory on http://%s", srv.Addr())
 	}
 
 	var plan faults.Plan

@@ -27,6 +27,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/obs/live"
 	"repro/internal/profiling"
 	"repro/internal/runcache"
 )
@@ -47,6 +48,8 @@ func main() {
 	faultSpec := flag.String("faults", "", "fault plan for -fault-study (default: auto-sized one-off delay)")
 	progress := flag.Bool("progress", false, "report live study progress with ETA on stderr")
 	metrics := flag.Bool("metrics", false, "dump simulator metrics to stderr after the run")
+	liveAddr := flag.String("live", "",
+		"serve the study observatory (/healthz, /metrics, /progress) on this address")
 	prof := profiling.AddFlags()
 	flag.Parse()
 	prof.Start()
@@ -66,6 +69,25 @@ func main() {
 				log.Print(err)
 			}
 		}()
+	}
+	if *liveAddr != "" {
+		// The observatory serves whatever is being collected; make sure
+		// something is.
+		if opts.Metrics == nil {
+			opts.Metrics = obs.NewRegistry()
+		}
+		if opts.Progress == nil {
+			opts.Progress = obs.NewProgress(os.Stderr, "ltreport", time.Now) //detlint:allow wallclock
+		}
+		srv, err := live.Start(*liveAddr, live.Options{
+			Registry: opts.Metrics,
+			Progress: opts.Progress,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("live observatory on http://%s", srv.Addr())
 	}
 	if *cacheDir != "" {
 		cache, err := runcache.Open(*cacheDir)

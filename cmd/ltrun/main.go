@@ -16,12 +16,15 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/faults"
 	"repro/internal/measure"
 	"repro/internal/noise"
+	"repro/internal/obs"
+	"repro/internal/obs/live"
 	"repro/internal/profiling"
 	"repro/internal/trace"
 )
@@ -42,6 +45,10 @@ func main() {
 	traceOut := flag.String("trace", "", "write the binary trace here (chunked compressed format)")
 	traceV1 := flag.Bool("trace-v1", false, "write the trace in the legacy monolithic version-1 format")
 	profOut := flag.String("profile", "", "write the analysis profile (JSON) here")
+	liveAddr := flag.String("live", "",
+		"serve the run observatory on this address (host:port) while the run executes")
+	liveLinger := flag.Duration("live-linger", 0,
+		"keep the observatory serving this long after the run completes (for scrapers)")
 	list := flag.Bool("list", false, "list configurations and exit")
 	prof := profiling.AddFlags()
 	flag.Parse()
@@ -77,12 +84,71 @@ func main() {
 		c := measure.DefaultConfig(core.Mode(*mode))
 		cfg = &c
 	}
-	res, err := experiment.RunWithOptions(spec, experiment.RunOptions{
+	opts := experiment.RunOptions{
 		Cfg: cfg, Seed: *seed, Noise: np, Faults: plan,
 		Analyze: *profOut != "" || !*quiet, KernelWorkers: *kernelPar,
-	})
+	}
+
+	// Live observatory: spill the trace to a sidecar file as it is
+	// recorded (AutoFlush so the tail sees every sealed chunk) and serve
+	// the monitoring endpoints while the run executes.  The sidecar is a
+	// separate file from -trace: the official artifact is still written
+	// at the end, byte-identical to a run without -live.
+	var spillClose func()
+	if *liveAddr != "" {
+		if cfg == nil {
+			log.Fatal("-live requires an instrumented run (non-empty -mode)")
+		}
+		if *kernelPar > 1 {
+			log.Fatal("-live requires the sequential kernel (-kernel-par 1)")
+		}
+		spillPath := *traceOut + ".live"
+		if *traceOut == "" {
+			f, err := os.CreateTemp("", "ltrun-live-*.ltrc")
+			if err != nil {
+				log.Fatal(err)
+			}
+			spillPath = f.Name()
+			f.Close()
+			defer os.Remove(spillPath)
+		}
+		sf, err := os.Create(spillPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cw := trace.NewChunkWriter(sf, *mode)
+		cw.AutoFlush = true
+		spillClose = func() {
+			if err := cw.Close(); err != nil {
+				log.Printf("live spill: %v", err)
+			}
+			if err := sf.Close(); err != nil {
+				log.Printf("live spill: %v", err)
+			}
+		}
+		opts.TraceSink = cw
+		opts.Metrics = obs.NewRegistry()
+		opts.Timeline = &obs.Timeline{}
+		srv, err := live.Start(*liveAddr, live.Options{
+			Registry:  opts.Metrics,
+			Timeline:  opts.Timeline,
+			TracePath: spillPath,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("live observatory on http://%s (spill %s)\n", srv.Addr(), spillPath)
+	}
+
+	res, err := experiment.RunWithOptions(spec, opts)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if spillClose != nil {
+		// Seal the sidecar (index + trailer) so the tail's next poll sees
+		// the run complete.
+		spillClose()
 	}
 	if plan != nil {
 		fmt.Printf("armed faults: %s\n", plan.Describe())
@@ -128,6 +194,10 @@ func main() {
 		if !*quiet {
 			res.Profile.RenderMetricTree(os.Stdout)
 		}
+	}
+	if *liveAddr != "" && *liveLinger > 0 {
+		fmt.Printf("lingering %s for observatory clients\n", *liveLinger)
+		time.Sleep(*liveLinger)
 	}
 }
 

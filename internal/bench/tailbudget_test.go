@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestMillionEventTailHeapBudget pins the live-observation claim at the
+// target scale: tailing a one-million-event trace while it is written —
+// polling after every burst and draining each sealed chunk through the
+// tail's reusable decode state — must stay inside the same allocation
+// budgets as the post-mortem streamed replay.  The tail's incremental
+// scan parses record headers only and reuses one scratch buffer for
+// chunk decoding, so following a run costs no more memory than reading
+// its file afterwards.
+func TestMillionEventTailHeapBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("writes and tails a million-event trace")
+	}
+	const (
+		events = 1_000_000
+		locs   = 8
+		bursts = 10 // writer flushes, and the tail polls, this many times per loc
+		// Same budgets as TestMillionEventReplayHeapBudget: 16 MB total
+		// allocated across the whole tailed replay, 8 MB retained.
+		allocBudget  = 16 << 20
+		retainBudget = 8 << 20
+	)
+	path := filepath.Join(t.TempDir(), "tail.ltrc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw := trace.NewChunkWriter(f, "lt_stmt")
+	cw.AutoFlush = true
+	regions := tracePipeRegions(cw.Region)
+	locIdx := make([]int, locs)
+	for li := 0; li < locs; li++ {
+		locIdx[li] = cw.AddLocation(li, 0)
+	}
+
+	tc, err := trace.Follow(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tc.Close()
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	// Interleave writer bursts with tail polls, draining every newly
+	// sealed chunk into one reused event buffer — the online-analysis
+	// access pattern.
+	var buf []trace.Event
+	drained, nextChunk := 0, 0
+	perBurst := events / locs / bursts
+	for b := 0; b < bursts; b++ {
+		for li := 0; li < locs; li++ {
+			tracePipeAppend(li*bursts+b, perBurst, regions,
+				func(e trace.Event) { cw.Record(locIdx[li], e) })
+		}
+		if _, done, err := tc.Poll(); err != nil || done {
+			t.Fatalf("burst %d: done=%v err=%v", b, done, err)
+		}
+		for ; nextChunk < tc.NumChunks(); nextChunk++ {
+			buf, err = tc.ChunkEvents(nextChunk, buf[:0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			drained += len(buf)
+		}
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, done, err := tc.Poll(); err != nil || !done {
+		t.Fatalf("final poll: done=%v err=%v", done, err)
+	}
+	for ; nextChunk < tc.NumChunks(); nextChunk++ {
+		buf, err = tc.ChunkEvents(nextChunk, buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		drained += len(buf)
+	}
+	if drained != events {
+		t.Fatalf("tailed %d events, want %d", drained, events)
+	}
+
+	var during runtime.MemStats
+	runtime.ReadMemStats(&during)
+	allocated := during.TotalAlloc - before.TotalAlloc
+	t.Logf("tailed %d events in %d chunks, allocated %d bytes total (%.2f bytes/event)",
+		events, tc.NumChunks(), allocated, float64(allocated)/events)
+	if allocated > allocBudget {
+		t.Errorf("tailed replay allocated %d bytes, budget %d", allocated, allocBudget)
+	}
+
+	buf = nil
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if after.HeapAlloc > before.HeapAlloc+retainBudget {
+		t.Errorf("HeapAlloc grew from %d to %d, over the %d retain budget",
+			before.HeapAlloc, after.HeapAlloc, retainBudget)
+	}
+}

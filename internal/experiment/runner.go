@@ -64,6 +64,16 @@ type RunOptions struct {
 	// byte-identical to the sequential kernel for every value, which is
 	// why it does not — and must not — enter the run-cache key.
 	KernelWorkers int
+	// TraceSink, when non-nil, mirrors every trace definition and event
+	// to the sink as it is recorded — the live-observatory spill that
+	// trace.Follow tails while the run executes.  The sink is observe-
+	// only (it cannot change the run's trace, profile or timings; the
+	// live identity test asserts byte-identical artifacts) but it is
+	// called from the measurement hot path, which under the parallel
+	// kernel runs turns concurrently: sinks are therefore restricted to
+	// sequential runs, and RunWithOptions rejects a sink combined with
+	// KernelWorkers > 1.
+	TraceSink trace.Sink
 }
 
 // Run executes one configuration once.  mode "" runs uninstrumented;
@@ -147,6 +157,15 @@ func RunWithOptions(spec Spec, o RunOptions) (*RunResult, error) {
 	if o.Cfg != nil {
 		mode = o.Cfg.Mode
 		meas = measure.New(*o.Cfg)
+	}
+	if o.TraceSink != nil {
+		if o.KernelWorkers > 1 {
+			return nil, fmt.Errorf("experiment %s: trace sink requires the sequential kernel (KernelWorkers <= 1)", spec.Name)
+		}
+		if meas == nil {
+			return nil, fmt.Errorf("experiment %s: trace sink requires an instrumented run", spec.Name)
+		}
+		meas.Trace.SetSink(o.TraceSink)
 	}
 	out := &RunResult{
 		Mode:   mode,

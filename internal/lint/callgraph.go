@@ -451,8 +451,7 @@ func (g *CallGraph) valueOf(pkg *Package, expr ast.Expr) *funcVal {
 		if node == nil {
 			return nil
 		}
-		sig, _ := pkg.Info.TypeOf(e).(*types.Signature)
-		return &funcVal{node: node, sig: sig}
+		return &funcVal{node: node, sig: sigOf(pkg.Info.TypeOf(e))}
 	case *ast.Ident:
 		if fn, ok := pkg.Info.Uses[e].(*types.Func); ok {
 			return g.funcValFor(pkg, fn, pkg.Info.TypeOf(e))
@@ -467,9 +466,9 @@ func (g *CallGraph) valueOf(pkg *Package, expr ast.Expr) *funcVal {
 }
 
 func (g *CallGraph) funcValFor(pkg *Package, fn *types.Func, t types.Type) *funcVal {
-	sig, _ := t.(*types.Signature)
+	sig := sigOf(t)
 	if sig == nil {
-		sig, _ = fn.Type().(*types.Signature)
+		sig = sigOf(fn.Type())
 	}
 	if node := g.nodeFor(fn); node != nil {
 		return &funcVal{node: node, sig: sig}
@@ -638,7 +637,7 @@ func (g *CallGraph) resolveNode(node *FuncNode) {
 				}
 			}
 			cs.Dynamic = true
-			sig, _ := pkg.Info.TypeOf(call.Fun).(*types.Signature)
+			sig := sigOf(pkg.Info.TypeOf(call.Fun))
 			var vals []funcVal
 			if obj := g.exprObject(pkg, call.Fun); obj != nil {
 				vals = g.varValues(obj, sig)
@@ -896,6 +895,21 @@ func isFuncType(t types.Type) bool {
 	return ok
 }
 
+// sigOf unwraps a type to its function signature.  A named function
+// type (`type Filter func(string) bool`) carries the signature in its
+// underlying type; asserting on the named type directly would yield
+// nil, and a nil signature wildcard-matches the whole escaped pool —
+// so every call through a named func type would conservatively reach
+// every escaped function in the module.  Nil when t is not a function
+// type at all.
+func sigOf(t types.Type) *types.Signature {
+	if t == nil {
+		return nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	return sig
+}
+
 func deref(t types.Type) types.Type {
 	if p, ok := t.Underlying().(*types.Pointer); ok {
 		return p.Elem()
@@ -911,3 +925,4 @@ func fieldByName(st *types.Struct, name string) *types.Var {
 	}
 	return nil
 }
+

@@ -128,3 +128,30 @@ func TestCallGraphDeterminism(t *testing.T) {
 		t.Errorf("two builds disagree:\n--- first\n%s--- second\n%s", r1, r2)
 	}
 }
+
+// TestNamedFuncTypePoolPrecision pins the signature unwrap for named
+// function types: the call through cg.Pred must resolve against the
+// pool by Pred's underlying signature.  Before the sigOf unwrap the
+// named type yielded a nil signature, which wildcard-matched the whole
+// escaped pool — every dynamic call through a named func type edged to
+// every escaped function in the module.
+func TestNamedFuncTypePoolPrecision(t *testing.T) {
+	_, g := loadCG(t)
+	n := nodeByName(t, g, "cg.CallNamed")
+	var dyn *lint.CallSite
+	for _, cs := range n.Calls {
+		if cs.Dynamic {
+			dyn = cs
+		}
+	}
+	if dyn == nil {
+		t.Fatal("cg.CallNamed: no dynamic call found")
+	}
+	got := strings.Join(targetNames(dyn), ",")
+	if !strings.Contains(got, "cg.match") {
+		t.Errorf("named-type call missed the same-signature pool member: %q", got)
+	}
+	if strings.Contains(got, "cg.mismatch") {
+		t.Errorf("named-type call wildcard-matched the pool: %q", got)
+	}
+}

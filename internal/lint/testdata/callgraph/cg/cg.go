@@ -50,3 +50,19 @@ func Pong(n int) {
 		Ping(n - 1)
 	}
 }
+
+// Pred is a named function type; a dynamic call through it must match
+// the escaped pool by its underlying signature, not wildcard the
+// whole pool (a nil signature matches everything).
+type Pred func(string) bool
+
+func match(string) bool { return true }
+func mismatch(int)      {}
+
+func pickPred() func(string) bool { return match }
+func pickInt() func(int)          { return mismatch }
+
+// CallNamed calls through the named type with an untracked callee (a
+// parameter nothing binds): pool resolution must reach match, whose
+// signature is identical, and must not reach mismatch.
+func CallNamed(p Pred) bool { return p("x") }

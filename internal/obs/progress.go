@@ -32,15 +32,22 @@ type Progress struct {
 	now   func() time.Time
 	every time.Duration
 
+	what      string
 	total     int
 	done      int
 	retried   int
 	dropped   int
 	cacheHits int
 	vDone     float64 // virtual seconds of completed jobs
+	finished  bool
 
 	started   time.Time
 	lastPrint time.Time
+	// printedDone is the done count when a progress line was last
+	// printed, so Finish can tell whether the final state ever reached
+	// the terminal and emit the 100 % line if the throttle (or a
+	// JobDropped ending the grid) swallowed it.
+	printedDone int
 }
 
 // NewProgress returns a reporter writing to w, tagged with label.  now
@@ -58,7 +65,10 @@ func (p *Progress) Start(total int, what string) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.what = what
 	p.total, p.done, p.retried, p.dropped, p.cacheHits, p.vDone = total, 0, 0, 0, 0, 0
+	p.finished = false
+	p.printedDone = 0
 	p.started = p.now()
 	p.lastPrint = p.started
 	fmt.Fprintf(p.w, "%s: %s: %d jobs queued\n", p.label, what, total)
@@ -74,10 +84,7 @@ func (p *Progress) JobDone(virtualSeconds float64) {
 	defer p.mu.Unlock()
 	p.done++
 	p.vDone += virtualSeconds
-	if t := p.now(); p.done == p.total || t.Sub(p.lastPrint) >= p.every {
-		p.lastPrint = t
-		p.printLocked(t)
-	}
+	p.maybePrintLocked()
 }
 
 // JobRetried records one retried job.
@@ -90,7 +97,9 @@ func (p *Progress) JobRetried() {
 	p.retried++
 }
 
-// JobDropped records one job dropped after its retry also failed.
+// JobDropped records one job dropped after its retry also failed.  A
+// drop still advances the grid, so it gets the same print check as
+// JobDone: a grid whose last job drops must still report 100 %.
 func (p *Progress) JobDropped() {
 	if p == nil {
 		return
@@ -99,6 +108,16 @@ func (p *Progress) JobDropped() {
 	defer p.mu.Unlock()
 	p.dropped++
 	p.done++
+	p.maybePrintLocked()
+}
+
+// maybePrintLocked prints a progress line when the grid just completed
+// or the throttle window has elapsed.
+func (p *Progress) maybePrintLocked() {
+	if t := p.now(); p.done == p.total || t.Sub(p.lastPrint) >= p.every {
+		p.lastPrint = t
+		p.printLocked(t)
+	}
 }
 
 // CacheHit records one job served from the run cache (also counted by
@@ -112,7 +131,10 @@ func (p *Progress) CacheHit() {
 	p.cacheHits++
 }
 
-// Finish prints the final summary line.  No-op on a nil reporter.
+// Finish prints the final summary line.  If the last progress line the
+// throttle let through predates the final job — the grid finished
+// inside the one-second window — the 100 % line is emitted first, so a
+// study's output always ends at 100 %.  No-op on a nil reporter.
 func (p *Progress) Finish() {
 	if p == nil {
 		return
@@ -120,12 +142,62 @@ func (p *Progress) Finish() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	t := p.now()
+	if p.printedDone < p.done {
+		p.printLocked(t)
+	}
+	p.finished = true
 	fmt.Fprintf(p.w, "%s: done: %d/%d jobs in %s (%d retried, %d dropped, %d cache hits, virtual %.3gs)\n",
 		p.label, p.done, p.total, t.Sub(p.started).Round(time.Millisecond),
 		p.retried, p.dropped, p.cacheHits, p.vDone)
 }
 
+// ProgressState is a point-in-time snapshot of a Progress reporter, in
+// the shape the live monitor's /progress endpoint serialises.
+type ProgressState struct {
+	Label      string  `json:"label"`
+	What       string  `json:"what,omitempty"`
+	Total      int     `json:"total"`
+	Done       int     `json:"done"`
+	Retried    int     `json:"retried"`
+	Dropped    int     `json:"dropped"`
+	CacheHits  int     `json:"cache_hits"`
+	VirtualSec float64 `json:"virtual_seconds"`
+	Percent    float64 `json:"percent"`
+	ElapsedSec float64 `json:"elapsed_seconds"`
+	ETASec     float64 `json:"eta_seconds"` // 0 when no estimate yet
+	Finished   bool    `json:"finished"`
+}
+
+// State returns a snapshot of the counters.  Safe on a nil reporter
+// (returns the zero state).
+func (p *Progress) State() ProgressState {
+	if p == nil {
+		return ProgressState{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t := p.now()
+	s := ProgressState{
+		Label: p.label, What: p.what,
+		Total: p.total, Done: p.done,
+		Retried: p.retried, Dropped: p.dropped, CacheHits: p.cacheHits,
+		VirtualSec: p.vDone,
+		Finished:   p.finished,
+	}
+	if p.total > 0 {
+		s.Percent = 100 * float64(p.done) / float64(p.total)
+	}
+	if !p.started.IsZero() {
+		s.ElapsedSec = t.Sub(p.started).Seconds()
+	}
+	if eta, ok := p.etaLocked(t); ok {
+		s.ETASec = eta.Seconds()
+	}
+	return s
+}
+
 func (p *Progress) printLocked(t time.Time) {
+	p.printedDone = p.done
 	pct := 0.0
 	if p.total > 0 {
 		pct = 100 * float64(p.done) / float64(p.total)

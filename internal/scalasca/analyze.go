@@ -50,9 +50,10 @@ type compInterval struct {
 
 // analysis carries the replay state.
 type analysis struct {
-	st   *trace.Stream
-	prof *cube.Profile
-	m    metricSet
+	st      *trace.Stream
+	prof    *cube.Profile
+	m       metricSet
+	partial bool // tolerate a stream that ends mid-run (live prefix)
 
 	sends []sendRec
 	recvs []recvRec
@@ -82,6 +83,24 @@ func Analyze(tr *trace.Trace) (*cube.Profile, error) {
 // matching queues, which scale with communication, not run length) in
 // memory.
 func AnalyzeStream(st *trace.Stream) (*cube.Profile, error) {
+	return analyzeStream(st, false)
+}
+
+// AnalyzeStreamPartial replays a possibly incomplete stream — the
+// sealed prefix of a trace still being recorded (trace.Follow) — and
+// produces the analysis of everything replayed so far.  It differs from
+// AnalyzeStream only in tolerance: regions still open when the stream
+// ends simply stop accruing at the last event instead of failing the
+// replay, and sends whose enclosing region has not closed yet keep
+// their provisional completion time.  On a complete trace the two are
+// identical (every region closes, so the tolerance never fires), which
+// is what lets a live monitor's final poll converge exactly to the
+// post-mortem analysis.
+func AnalyzeStreamPartial(st *trace.Stream) (*cube.Profile, error) {
+	return analyzeStream(st, true)
+}
+
+func analyzeStream(st *trace.Stream, partial bool) (*cube.Profile, error) {
 	nloc := st.NumLocs()
 	locNames := make([]string, nloc)
 	for i := 0; i < nloc; i++ {
@@ -93,6 +112,7 @@ func AnalyzeStream(st *trace.Stream) (*cube.Profile, error) {
 		st:       st,
 		prof:     prof,
 		m:        buildMetrics(prof),
+		partial:  partial,
 		colls:    make(map[[2]int32][]collPart),
 		bars:     make(map[[2]int32][]barPart),
 		comp:     make([][]compInterval, nloc),
@@ -232,7 +252,7 @@ func (a *analysis) scanLocation(li int) error {
 	if err := cur.Err(); err != nil {
 		return fmt.Errorf("scalasca: loc %d: reading trace: %w", li, err)
 	}
-	if len(stack) != 0 {
+	if len(stack) != 0 && !a.partial {
 		return fmt.Errorf("scalasca: loc %d: %d unclosed regions at end of trace", li, len(stack))
 	}
 	return nil

@@ -97,6 +97,13 @@ type ChunkWriter struct {
 	// DefaultChunkEvents.
 	ChunkEvents int
 
+	// AutoFlush pushes every sealed chunk through the internal buffer to
+	// the underlying writer as soon as it is complete, so a live reader
+	// tailing the output file (trace.Follow) sees each chunk when it is
+	// sealed instead of when the buffer happens to fill.  Off by
+	// default: batch recording keeps the fewer, larger writes.
+	AutoFlush bool
+
 	index []ChunkInfo
 
 	raw  bytes.Buffer // reusable delta-encode buffer
@@ -301,6 +308,23 @@ func (cw *ChunkWriter) flushLoc(l int) {
 	cw.write(cw.comp.Bytes())
 	cw.index = append(cw.index, info)
 	loc.events = loc.events[:0]
+	if cw.AutoFlush && cw.err == nil {
+		cw.err = cw.bw.Flush()
+	}
+}
+
+// Flush writes everything sealed so far — defs records for any
+// definitions not yet on disk, plus all completed chunk records sitting
+// in the internal buffer — through to the underlying writer.  Partial
+// per-location chunks stay buffered (sealing them early would fragment
+// the chunk layout); only Close spills those.  Flush is what gives a
+// live tail (trace.Follow) something to see before the file is closed.
+func (cw *ChunkWriter) Flush() error {
+	cw.flushDefs()
+	if cw.err != nil {
+		return cw.err
+	}
+	return cw.bw.Flush()
 }
 
 // Close flushes every location's partial chunk, writes the index record

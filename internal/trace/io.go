@@ -162,13 +162,19 @@ type RecordError struct {
 	// chunked (version-2) traces, or 0 for the monolithic version-1
 	// stream, where events are not chunked.
 	Chunk int
-	Err   error
+	// Offset is the file offset of the offending record's tag byte, when
+	// the reader tracks offsets (the live tail does); 0 means unknown.
+	Offset int64
+	Err    error
 }
 
 func (e *RecordError) Error() string {
 	at := fmt.Sprintf("location %d (rank %d thread %d)", e.Loc, e.Rank, e.Thread)
 	if e.Chunk > 0 {
 		at += fmt.Sprintf(" chunk %d", e.Chunk)
+	}
+	if e.Offset > 0 {
+		at += fmt.Sprintf(" offset %d", e.Offset)
 	}
 	if e.Path != "" {
 		return fmt.Sprintf("%s: %s: %v", e.Path, at, e.Err)

@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// RotatingRecorder manages a directory of chunked trace files for
+// multi-run service use: each run gets its own sequence-numbered file
+// ("<prefix>-000042.ltrc"), sealed with an index and trailer when the
+// run ends, so a long-running daemon records run after run without ever
+// reopening or rewriting a finished trace.  Files are written with
+// AutoFlush on, so a live tail (Follow) can watch the current run while
+// it is still recording.
+//
+// The sequence survives restarts: the constructor scans the directory
+// and resumes numbering after the highest existing file.  SetKeep
+// bounds disk use by pruning the oldest sealed files past a limit; the
+// file being written is never pruned.
+type RotatingRecorder struct {
+	mu     sync.Mutex
+	dir    string
+	prefix string
+	keep   int
+	seq    int
+	f      *os.File
+	cw     *ChunkWriter
+	path   string
+	sealed []string // sealed file paths, oldest first
+}
+
+// rotateExt is the filename extension of rotated trace files.
+const rotateExt = ".ltrc"
+
+// NewRotatingRecorder prepares dir (creating it if needed) for rotated
+// recording under the given filename prefix, resuming the sequence
+// after any files a previous process left behind.
+func NewRotatingRecorder(dir, prefix string) (*RotatingRecorder, error) {
+	if prefix == "" {
+		prefix = "run"
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	r := &RotatingRecorder{dir: dir, prefix: prefix}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, prefix+"-") || !strings.HasSuffix(name, rotateExt) {
+			continue
+		}
+		num := strings.TrimSuffix(strings.TrimPrefix(name, prefix+"-"), rotateExt)
+		n, err := strconv.Atoi(num)
+		if err != nil {
+			continue
+		}
+		if n >= r.seq {
+			r.seq = n + 1
+		}
+		r.sealed = append(r.sealed, filepath.Join(dir, name))
+	}
+	sort.Strings(r.sealed)
+	return r, nil
+}
+
+// SetKeep bounds the number of sealed files retained on disk; 0 (the
+// default) keeps everything.  The bound applies from the next End.
+func (r *RotatingRecorder) SetKeep(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.keep = n
+}
+
+// Begin rotates to a fresh file and returns its writer and path.  Any
+// run still open is sealed first.
+func (r *RotatingRecorder) Begin(clock string) (*ChunkWriter, string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cw != nil {
+		if err := r.endLocked(); err != nil {
+			return nil, "", err
+		}
+	}
+	path := filepath.Join(r.dir, fmt.Sprintf("%s-%06d%s", r.prefix, r.seq, rotateExt))
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, "", err
+	}
+	r.seq++
+	r.f, r.path = f, path
+	r.cw = NewChunkWriter(f, clock)
+	r.cw.AutoFlush = true
+	return r.cw, path, nil
+}
+
+// Current returns the open run's path and writer, or "" and nil between
+// runs.
+func (r *RotatingRecorder) Current() (string, *ChunkWriter) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.path, r.cw
+}
+
+// End seals the open run: the writer's index and trailer are written,
+// the file is closed and becomes part of the sealed set (pruned to the
+// SetKeep bound).  No-op when no run is open.
+func (r *RotatingRecorder) End() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.endLocked()
+}
+
+func (r *RotatingRecorder) endLocked() error {
+	if r.cw == nil {
+		return nil
+	}
+	cerr := r.cw.Close()
+	ferr := r.f.Close()
+	r.sealed = append(r.sealed, r.path)
+	r.cw, r.f, r.path = nil, nil, ""
+	if cerr != nil {
+		return cerr
+	}
+	if ferr != nil {
+		return ferr
+	}
+	return r.pruneLocked()
+}
+
+func (r *RotatingRecorder) pruneLocked() error {
+	if r.keep <= 0 {
+		return nil
+	}
+	var err error
+	for len(r.sealed) > r.keep {
+		if rmErr := os.Remove(r.sealed[0]); rmErr != nil && err == nil {
+			err = rmErr
+		}
+		r.sealed = r.sealed[1:]
+	}
+	return err
+}
+
+// Sealed returns the sealed file paths, oldest first.
+func (r *RotatingRecorder) Sealed() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.sealed...)
+}
+
+// Close seals any open run.
+func (r *RotatingRecorder) Close() error { return r.End() }

@@ -1,0 +1,370 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// TailCursor follows a chunked (version-2) trace file that is still
+// being written by a ChunkWriter, discovering each sealed record as it
+// lands on disk.  It is the storage half of live observation: the
+// writer appends self-contained records and never rewrites earlier
+// bytes, so a reader that remembers the offset of the first byte it has
+// not yet parsed can poll the growing file, parse any newly completed
+// records, and stop cleanly at a torn tail — a record whose trailing
+// bytes have not reached the disk yet.
+//
+// The protocol is pull-based and cheap: Poll stats the file, scans
+// forward from the last-good offset parsing record headers only (chunk
+// payloads are skipped, not decoded), and classifies whatever ends the
+// scan:
+//
+//   - a clean record boundary at end-of-file: nothing torn, poll again
+//     later;
+//   - a record cut off by end-of-file: a torn tail, described by Torn()
+//     as a structured *RecordError (location, chunk ordinal, file
+//     offset) and re-parsed from the same offset on the next Poll, so
+//     the tail resumes exactly where it stopped once the writer
+//     completes the record;
+//   - the index record: the writer has closed the file; Done() becomes
+//     true and the sealed view is the complete trace;
+//   - anything structurally impossible (bad magic, unknown tag,
+//     implausible header): sticky damage reported by Err().  Bytes
+//     already written are immutable, so a complete-but-implausible
+//     header can never become valid by waiting.
+//
+// Snapshot returns a point-in-time *ChunkFile over the sealed prefix;
+// analyses stream it exactly like a finished file.  All methods are
+// safe for concurrent use.
+type TailCursor struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+
+	cf         *ChunkFile // accumulated sealed view; cf.size tracks the last stat
+	headerDone bool
+	resume     int64 // offset of the first byte not covered by a sealed record
+
+	done   bool
+	damage error
+	torn   *RecordError
+
+	ds decodeState // persistent scratch for ChunkEvents
+}
+
+// Follow opens path for tailing.  The file may be empty or mid-header:
+// Follow succeeds as long as the file can be opened, and Poll reports
+// progress as bytes arrive.
+func Follow(path string) (*TailCursor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &TailCursor{f: f, path: path, cf: &ChunkFile{ra: f}}, nil
+}
+
+// Close releases the underlying file.
+func (tc *TailCursor) Close() error {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.f.Close()
+}
+
+// tailTruncated reports whether err means "the bytes are not there yet"
+// rather than "the bytes are wrong".
+func tailTruncated(err error) bool {
+	return errors.Is(err, ErrTruncated) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// Poll advances the tail over any records sealed since the last call.
+// It returns the number of newly discovered chunks, whether the file is
+// complete (its index record has been written), and the sticky damage
+// error, if any.  A torn tail is not an error — it is reported by Torn
+// and retried on the next Poll.
+func (tc *TailCursor) Poll() (newChunks int, done bool, err error) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if tc.damage != nil || tc.done {
+		return 0, tc.done, tc.damage
+	}
+	fi, err := tc.f.Stat()
+	if err != nil {
+		tc.damage = err
+		return 0, false, err
+	}
+	tc.cf.size = fi.Size()
+	if !tc.headerDone {
+		p := tc.cf.section(0)
+		if err := tc.cf.readHeader(p); err != nil {
+			if tailTruncated(err) {
+				return 0, false, nil // header still being written
+			}
+			tc.damage = err
+			return 0, false, tc.damage
+		}
+		tc.headerDone = true
+		tc.resume = p.off
+	}
+	return tc.scanSealed()
+}
+
+// scanSealed parses records from the resume offset to the current file
+// size, with tc.mu held.
+func (tc *TailCursor) scanSealed() (newChunks int, done bool, err error) {
+	p := tc.cf.section(tc.resume)
+	for {
+		tagOff := p.off
+		tag, err := p.ReadByte()
+		if err == io.EOF {
+			tc.torn = nil // clean record boundary
+			return newChunks, false, nil
+		}
+		if err != nil {
+			tc.damage = fail("record tag", err)
+			return newChunks, false, tc.damage
+		}
+		switch tag {
+		case tagDefs:
+			if ok := tc.scanDefs(p, tagOff); !ok {
+				return newChunks, false, tc.damage
+			}
+		case tagChunk:
+			sealed, ok := tc.scanChunk(p, tagOff)
+			if !ok {
+				return newChunks, false, tc.damage
+			}
+			if !sealed {
+				return newChunks, false, nil // torn; retry from tagOff next Poll
+			}
+			newChunks++
+		case tagIndex:
+			// The writer only emits the index from Close, after sealing
+			// every chunk: the recording is complete.  The index repeats
+			// what the records already said, so it is not parsed.
+			tc.done = true
+			tc.torn = nil
+			return newChunks, true, nil
+		default:
+			tc.damage = fmt.Errorf("trace: unknown record tag 0x%02x at offset %d", tag, tagOff)
+			return newChunks, false, tc.damage
+		}
+	}
+}
+
+// scanDefs parses one defs record.  New definitions are staged and only
+// merged into the sealed view when the whole record parsed, so a defs
+// record cut mid-way is never half-applied (it would double-apply on
+// the re-parse).  ok is false on sticky damage.
+func (tc *TailCursor) scanDefs(p *posReader, tagOff int64) bool {
+	var regions []RegionDef
+	var locs []LocInfo
+	err := readDefs(p,
+		func(name string, role Role) error {
+			regions = append(regions, RegionDef{Name: name, Role: role})
+			return nil
+		},
+		func(rank, thread int) {
+			locs = append(locs, LocInfo{Rank: rank, Thread: thread})
+		},
+		len(tc.cf.Regions), len(tc.cf.locs))
+	if err != nil {
+		if tailTruncated(err) {
+			tc.torn = &RecordError{
+				Path: tc.path, Loc: -1, Offset: tagOff,
+				Err: fmt.Errorf("%w while reading defs record", ErrTruncated),
+			}
+			return true // wait for the writer to finish the record
+		}
+		tc.damage = err
+		return false
+	}
+	tc.cf.Regions = append(tc.cf.Regions, regions...)
+	tc.cf.locs = append(tc.cf.locs, locs...)
+	for len(tc.cf.locChunks) < len(tc.cf.locs) {
+		tc.cf.locChunks = append(tc.cf.locChunks, nil)
+	}
+	tc.torn = nil
+	tc.resume = p.off
+	return true
+}
+
+// scanChunk parses one chunk record's header and accounts the chunk if
+// its payload is fully on disk.  sealed is false at a torn tail (header
+// or payload incomplete); ok is false on sticky damage.
+func (tc *TailCursor) scanChunk(p *posReader, tagOff int64) (sealed, ok bool) {
+	h, err := readChunkHeader(p, tagOff)
+	if err != nil {
+		if tailTruncated(err) {
+			tc.torn = tc.tornChunk(tagOff, tc.peekLoc(tagOff), 0,
+				fmt.Errorf("%w while reading chunk header", ErrTruncated))
+			return false, true
+		}
+		tc.damage = fail("chunk header", err)
+		return false, false
+	}
+	if h.info.Loc >= len(tc.cf.locs) {
+		tc.damage = fmt.Errorf("trace: chunk references undefined location %d (have %d)",
+			h.info.Loc, len(tc.cf.locs))
+		return false, false
+	}
+	if p.off+int64(h.info.CompLen) > tc.cf.size {
+		tc.torn = tc.tornChunk(tagOff, h.info.Loc, h.info.Events,
+			fmt.Errorf("%w while reading chunk payload", ErrTruncated))
+		return false, true
+	}
+	if _, err := io.CopyN(io.Discard, p, int64(h.info.CompLen)); err != nil {
+		tc.damage = fail("chunk payload", err)
+		return false, false
+	}
+	ci := len(tc.cf.chunks)
+	tc.cf.chunks = append(tc.cf.chunks, h.info)
+	tc.cf.locChunks[h.info.Loc] = append(tc.cf.locChunks[h.info.Loc], ci)
+	tc.cf.locs[h.info.Loc].Events += h.info.Events
+	tc.torn = nil
+	tc.resume = p.off
+	return true, true
+}
+
+// tornChunk builds the structured description of a chunk record cut off
+// at the current end of file.
+func (tc *TailCursor) tornChunk(tagOff int64, loc, events int, err error) *RecordError {
+	re := &RecordError{Path: tc.path, Loc: loc, Offset: tagOff, Err: err}
+	if loc >= 0 && loc < len(tc.cf.locs) {
+		li := tc.cf.locs[loc]
+		re.Rank, re.Thread = li.Rank, li.Thread
+		re.Event = li.Events
+		re.Events = li.Events + events
+		re.Chunk = len(tc.cf.locChunks[loc]) + 1
+	}
+	return re
+}
+
+// peekLoc best-effort decodes the location field of a chunk record cut
+// off mid-header, so even a torn header names its location when the
+// first varint made it to disk.  Returns -1 if it did not.
+func (tc *TailCursor) peekLoc(tagOff int64) int {
+	var buf [binary.MaxVarintLen64]byte
+	need := tc.cf.size - (tagOff + 1)
+	if need <= 0 {
+		return -1
+	}
+	if need > int64(len(buf)) {
+		need = int64(len(buf))
+	}
+	n, _ := tc.f.ReadAt(buf[:need], tagOff+1)
+	loc, k := binary.Uvarint(buf[:n])
+	if k <= 0 || loc > maxLocations {
+		return -1
+	}
+	return int(loc)
+}
+
+// Done reports whether the writer has finished the file (its index
+// record was seen); the sealed view is then the complete trace.
+func (tc *TailCursor) Done() bool {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.done
+}
+
+// Err returns the sticky structural error, if any.  Torn tails are not
+// damage; see Torn.
+func (tc *TailCursor) Err() error {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.damage
+}
+
+// Torn describes the record currently cut off at the end of the file,
+// or nil when the last Poll stopped at a clean record boundary.  The
+// error names the location, the one-based chunk ordinal within it and
+// the file offset of the torn record.  It is transient: once the writer
+// completes the record, the next Poll seals it and Torn reports nil.
+func (tc *TailCursor) Torn() *RecordError {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.torn
+}
+
+// Offset returns the file offset of the first byte not covered by a
+// sealed record — where the next Poll resumes parsing.
+func (tc *TailCursor) Offset() int64 {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.resume
+}
+
+// Clock returns the trace's clock name ("" until the header has been
+// read).
+func (tc *TailCursor) Clock() string {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.cf.Clock
+}
+
+// NumChunks returns the number of sealed chunks discovered so far.
+func (tc *TailCursor) NumChunks() int {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return len(tc.cf.chunks)
+}
+
+// Events returns the total sealed event count across locations.  Events
+// still buffered in the writer's active chunks are not visible until
+// their chunk is sealed.
+func (tc *TailCursor) Events() int {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	n := 0
+	for _, l := range tc.cf.locs {
+		n += l.Events
+	}
+	return n
+}
+
+// ChunkEvents appends the events of sealed chunk ci (file order, as
+// discovered by Poll) to dst, reusing the tail's persistent decode
+// state — so an incremental consumer draining chunks as they land
+// allocates only when a chunk outgrows every previous scratch buffer.
+func (tc *TailCursor) ChunkEvents(ci int, dst []Event) ([]Event, error) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if ci < 0 || ci >= len(tc.cf.chunks) {
+		return dst, fmt.Errorf("trace: chunk %d out of range (have %d sealed)", ci, len(tc.cf.chunks))
+	}
+	return tc.cf.readChunk(&tc.ds, ci, dst)
+}
+
+// Chunk returns sealed chunk ci's index entry.
+func (tc *TailCursor) Chunk(ci int) ChunkInfo {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.cf.chunks[ci]
+}
+
+// Snapshot returns a point-in-time random-access view over the sealed
+// prefix.  The snapshot shares the tail's file handle but owns its
+// slice headers, so later Polls growing the tail never disturb it —
+// sealed records are immutable, and appends beyond a snapshot's lengths
+// are invisible to it.  Closing a snapshot is a no-op (the tail owns
+// the file); close the TailCursor instead.
+func (tc *TailCursor) Snapshot() *ChunkFile {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	cf := &ChunkFile{
+		ra:      tc.cf.ra,
+		size:    tc.cf.size,
+		Clock:   tc.cf.Clock,
+		Regions: tc.cf.Regions,
+		locs:    append([]LocInfo(nil), tc.cf.locs...),
+		chunks:  tc.cf.chunks,
+		IndexOK: tc.done,
+	}
+	cf.locChunks = make([][]int, len(tc.cf.locChunks))
+	copy(cf.locChunks, tc.cf.locChunks)
+	return cf
+}

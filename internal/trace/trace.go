@@ -127,6 +127,7 @@ type Trace struct {
 	Locs    []LocTrace
 
 	regionIDs map[string]RegionID
+	sink      Sink // optional write-only mirror (see SetSink)
 }
 
 // New creates an empty trace for the given clock mode.
@@ -147,6 +148,9 @@ func (t *Trace) Region(name string, role Role) RegionID {
 	id := RegionID(len(t.Regions))
 	t.Regions = append(t.Regions, RegionDef{Name: name, Role: role})
 	t.regionIDs[name] = id
+	if t.sink != nil {
+		t.sink.Region(name, role)
+	}
 	return id
 }
 
@@ -156,6 +160,9 @@ func (t *Trace) RegionName(id RegionID) string { return t.Regions[id].Name }
 // AddLocation appends an empty location stream and returns its index.
 func (t *Trace) AddLocation(rank, thread int) int {
 	t.Locs = append(t.Locs, LocTrace{Rank: rank, Thread: thread})
+	if t.sink != nil {
+		t.sink.AddLocation(rank, thread)
+	}
 	return len(t.Locs) - 1
 }
 
@@ -171,6 +178,9 @@ func (t *Trace) Record(l int, e Event) {
 		lt.Events = grown
 	}
 	lt.Events = append(lt.Events, e)
+	if t.sink != nil {
+		t.sink.Record(l, e)
+	}
 }
 
 // Append adds an event to location stream l.

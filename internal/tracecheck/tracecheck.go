@@ -187,6 +187,20 @@ type Options struct {
 	// SamplesPerLoc is the number of evenly spaced events sampled per
 	// location for the transitive clock-condition audit.  0 means 4.
 	SamplesPerLoc int
+	// Partial verifies a still-growing prefix of a trace (the sealed
+	// view of a live tail, trace.Follow): only prefix-closed invariants
+	// are checked, so a clean run never reports violations mid-stream
+	// that its complete trace would not.  Suppressed because the rest of
+	// the trace may still legitimately arrive: regions still open at end
+	// of stream, sends not yet received, receives whose send's location
+	// is sealed less far along, collective/barrier instances and forks
+	// whose remaining participants are still running, release edges
+	// whose closing Exit has not been recorded, and the vector-clock
+	// audit (which needs the complete trace).  Everything prefix-closed
+	// still applies: nesting errors, timestamp monotonicity, FIFO
+	// matching of the pairs already on disk, sequence ordering, the
+	// clock condition and piggyback gain on every reconstructed edge.
+	Partial bool
 }
 
 func (o Options) fill() Options {
@@ -272,8 +286,13 @@ type chanKey struct{ src, dst, tag int32 }
 // event closing the region that encloses a collective or barrier
 // record.  The scan attaches one to the region stack and fills it in
 // when that frame pops (or with the location's last event if the
-// region never closes — the old whole-trace exitAfter default).
-type exitRef struct{ pos EventPos }
+// region never closes — the old whole-trace exitAfter default; such a
+// default is marked provisional so a Partial verification can skip
+// edges whose real target has not been recorded yet).
+type exitRef struct {
+	pos         EventPos
+	provisional bool
+}
 
 // collPart is one location's participation in a collective, barrier,
 // fork or join instance, with every event attribute the later passes
@@ -495,12 +514,13 @@ func (c *checker) scan() {
 		for _, er := range open {
 			if er.pos.Kind == "" {
 				er.pos = prev
+				er.provisional = true
 			}
 		}
 		if worker && segOpen {
 			c.segs[li] = append(c.segs[li], segment{start: segStart, end: prev})
 		}
-		if len(stack) > 0 {
+		if len(stack) > 0 && !c.opt.Partial {
 			c.violate(KindUnbalanced, stack[len(stack)-1].pos, nil,
 				"%d region(s) never exited before end of stream", len(stack))
 		}
@@ -519,8 +539,12 @@ func (c *checker) matchMessages() {
 	for _, r := range c.recvs {
 		q := pending[r.key]
 		if len(q) == 0 {
-			c.violate(KindUnmatchedRecv, r.pos, nil,
-				"no matching send on channel src=%d dst=%d tag=%d", r.key.src, r.key.dst, r.key.tag)
+			// On a prefix, the sender's location may simply be sealed
+			// less far along than the receiver's.
+			if !c.opt.Partial {
+				c.violate(KindUnmatchedRecv, r.pos, nil,
+					"no matching send on channel src=%d dst=%d tag=%d", r.key.src, r.key.dst, r.key.tag)
+			}
 			continue
 		}
 		c.edges = append(c.edges, edgeRec{from: q[0], to: r.pos})
@@ -542,6 +566,9 @@ func (c *checker) matchMessages() {
 		}
 		return a.tag < b.tag
 	})
+	if c.opt.Partial {
+		return // unconsumed sends may still be received
+	}
 	for _, k := range keys {
 		for _, s := range pending[k] {
 			c.violate(KindOrphanSend, s, nil,
@@ -604,6 +631,9 @@ func (c *checker) checkCollectives() {
 		for _, li := range sortedInts(members[comm]) {
 			switch n := seen[li]; {
 			case n == 0:
+				if c.opt.Partial {
+					continue // the rank may not have reached the instance yet
+				}
 				c.violate(KindCollParticipant, first.pos, nil,
 					"rank %d missing from comm %d collective instance seq %d",
 					c.st.Loc(li).Rank, comm, seq)
@@ -646,6 +676,9 @@ func (c *checker) allToAll(parts []collPart) {
 			if a.pos.Loc == b.pos.Loc {
 				continue
 			}
+			if c.opt.Partial && b.exit.provisional {
+				continue // the releasing Exit is not on disk yet
+			}
 			c.edges = append(c.edges, edgeRec{from: a.enterPos, to: b.exit.pos})
 		}
 	}
@@ -673,7 +706,7 @@ func (c *checker) checkBarriers() {
 		if want > teamSize[rank] {
 			want = teamSize[rank] // a truncated trace cannot have more locations than recorded
 		}
-		if len(parts) != want {
+		if len(parts) != want && !(c.opt.Partial && len(parts) < want) {
 			c.violate(KindBarrier, parts[0].pos, nil,
 				"%d of %d threads reached barrier seq %d on rank %d", len(parts), want, seq, rank)
 		}
@@ -721,7 +754,7 @@ func (c *checker) checkForkJoin() {
 			j := joins[len(forks)]
 			c.violate(KindForkJoin, j.pos, nil,
 				"join without a preceding fork (%d joins, %d forks)", len(joins), len(forks))
-		case len(forks) > len(joins):
+		case len(forks) > len(joins) && !c.opt.Partial:
 			f := forks[len(joins)]
 			c.violate(KindForkJoin, f.pos, nil,
 				"fork never joined (%d forks, %d joins)", len(forks), len(joins))
@@ -789,6 +822,9 @@ func (c *checker) checkEdges() {
 // needs the whole trace; below MaxVectorCells it materializes the
 // stream (Verify hands the trace over directly, costing nothing).
 func (c *checker) vectorAudit() {
+	if c.opt.Partial {
+		return // the transitive audit needs the complete trace
+	}
 	if c.rep.Events*c.st.NumLocs() > c.opt.MaxVectorCells {
 		return
 	}
